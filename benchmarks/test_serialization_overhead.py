@@ -1,0 +1,127 @@
+"""E4 / §2: serialization dominates sparse-model serving.
+
+Paper: "As much as 70% of the processing time for these model-serving
+applications is spent deserializing and loading the sparse personalized
+models into main memory at request time." and §3.1: the invariant-
+pointer object encoding "alleviat[es] 100% of the loading overhead...
+leaving only data transfer costs, which are fundamental."
+
+Two measurements:
+
+* **real CPU time** — pytest-benchmark times the actual marshalling walk
+  (TLV encode/decode of a sparse partition) against the byte-level
+  object image path (pack is a flat memcpy-style encode);
+* **simulated serving pipeline** — the share of RPC-path serving time
+  spent in deserialize+load, and its elimination on the object path.
+"""
+
+import random
+
+import pytest
+
+from repro.core import CostModel
+from repro.rpc import decode, encode
+from repro.workloads import ModelPartition
+from repro.workloads.inference import serving_compute_us
+
+from conftest import bench_check, print_table
+
+ENTRIES = 20_000
+
+
+@pytest.fixture(scope="module")
+def partition():
+    return ModelPartition.generate(random.Random(7), 0, ENTRIES)
+
+
+@pytest.fixture(scope="module")
+def wire(partition):
+    return encode(partition.to_value())
+
+
+@pytest.fixture(scope="module")
+def image(partition):
+    return partition.pack()
+
+
+class TestRealMarshallingCost:
+    def test_rpc_serialize(self, benchmark, partition):
+        benchmark(lambda: encode(partition.to_value()))
+
+    def test_rpc_deserialize(self, benchmark, wire):
+        benchmark(lambda: ModelPartition.from_value(decode(wire)))
+
+    def test_object_image_copy_out(self, benchmark, partition):
+        benchmark(partition.pack)
+
+    def test_object_image_copy_in(self, benchmark, image):
+        """The receiver-side 'byte-level copy': in the real system this
+        is a memcpy; here the image parse is the closest equivalent and
+        must still beat the TLV walk soundly."""
+        benchmark(lambda: bytes(image))
+
+
+class TestSimulatedServingPipeline:
+    def test_processing_share_table(self, benchmark, partition):
+        def build():
+            model = CostModel(link_bandwidth_gbps=10.0)
+            rows = []
+            for nbytes in (100_000, 1_000_000, 10_000_000, 100_000_000):
+                deserialize = model.deserialize_time_us(nbytes)
+                compute = serving_compute_us(nbytes, model)
+                share = deserialize / (deserialize + compute)
+                copy = model.byte_copy_time_us(nbytes)
+                rows.append([nbytes, deserialize, compute, 100 * share, copy])
+            return rows
+
+        rows = benchmark(build)
+        print_table(
+            "RPC model-serving: deserialize+load share of processing time",
+            ["model_bytes", "deser_us", "other_us", "deser_share_%",
+             "objcopy_us"],
+            rows,
+        )
+        for row in rows:
+            assert row[3] == pytest.approx(70.0, abs=2.0)
+
+    def test_object_path_eliminates_loading(self, benchmark):
+        def check():
+            model = CostModel(link_bandwidth_gbps=10.0)
+            nbytes = 10_000_000
+            rpc = model.rpc_transfer(nbytes)
+            obj = model.object_transfer(nbytes)
+            # Same fundamental transfer cost...
+            assert obj.transfer_us == rpc.transfer_us
+            # ...but the marshalling walk is gone (>95% of it).
+            rpc_walk = rpc.serialize_us + rpc.deserialize_us
+            obj_walk = obj.serialize_us + obj.deserialize_us
+            assert obj_walk < 0.05 * rpc_walk
+
+        bench_check(benchmark, check)
+
+    def test_transfer_costs_remain_fundamental(self, benchmark):
+        def check():
+            model = CostModel(link_bandwidth_gbps=10.0)
+            obj = model.object_transfer(10_000_000)
+            assert obj.transfer_us > 0.85 * obj.total_us
+
+        bench_check(benchmark, check)
+
+
+class TestRealCostAsymmetry:
+    def test_image_roundtrip_beats_tlv_roundtrip(self, benchmark, partition,
+                                                 wire, image):
+        """End-to-end real-time comparison of the two encodings."""
+        import time
+
+        def compare():
+            start = time.perf_counter()
+            ModelPartition.from_value(decode(wire))
+            tlv_s = time.perf_counter() - start
+            start = time.perf_counter()
+            ModelPartition.unpack(image)
+            image_s = time.perf_counter() - start
+            return tlv_s, image_s
+
+        tlv_s, image_s = benchmark.pedantic(compare, rounds=5, iterations=1)
+        assert image_s < tlv_s

@@ -1,0 +1,122 @@
+"""E15 / §3.2+§4: hierarchical identifier overlay over WAN regions.
+
+Paper: "To scale to larger deployments, we will explore hierarchical
+identifier overlay schemes" and "[we] will consider overlay networks to
+layer on WAN routing."
+
+Measures the two properties the overlay buys:
+
+* **bounded switch state** — each region's rack switch holds identity
+  entries only for locally homed objects, so total deployable objects
+  scale with the number of regions instead of hitting one table's wall;
+* **locality pricing** — intra-region accesses never touch the WAN;
+  cross-region accesses pay exactly the gateway round trip.
+"""
+
+import pytest
+
+from repro.core import IDAllocator, ObjectSpace
+from repro.discovery import IdentityAccessor, ObjectHome
+from repro.net import build_multi_region
+from repro.sim import Simulator, summarize
+
+from conftest import bench_check, print_table
+
+OBJECTS_PER_REGION = 8
+WAN_LATENCY_US = 2_000.0
+
+
+def run_overlay(n_regions: int, seed: int = 67):
+    """Build regions, populate objects, access local + remote mixes."""
+    sim = Simulator(seed=seed)
+    mr = build_multi_region(sim, n_regions=n_regions, hosts_per_region=2,
+                            wan_latency_us=WAN_LATENCY_US)
+    allocator = IDAllocator(seed=seed + 1)
+    objects = {}
+    for r in range(n_regions):
+        region = f"r{r}"
+        holder = f"{region}_h1"
+        home = ObjectHome(mr.network.host(holder),
+                          ObjectSpace(allocator, host_name=holder))
+        objects[region] = []
+        for _ in range(OBJECTS_PER_REGION):
+            obj = home.space.create_object(size=256)
+            mr.register_local_object(obj.oid, region, holder)
+            objects[region].append(obj.oid)
+    accessor = IdentityAccessor(mr.network.host("r0_h0"))
+    local_records, remote_records = [], []
+
+    def driver():
+        for oid in objects["r0"]:
+            record = yield sim.spawn(accessor.access(oid))
+            local_records.append(record)
+        for r in range(1, n_regions):
+            for oid in objects[f"r{r}"][:3]:
+                record = yield sim.spawn(accessor.access(oid))
+                remote_records.append(record)
+        return None
+
+    sim.run_process(driver())
+    assert all(r.ok for r in local_records + remote_records)
+    max_table = max(len(s.identity_table) for s in mr.network.switches)
+    return {
+        "local_mean_us": summarize([r.latency_us for r in local_records]).mean,
+        "remote_mean_us": summarize([r.latency_us for r in remote_records]).mean,
+        "max_table_entries": max_table,
+        "total_objects": n_regions * OBJECTS_PER_REGION,
+    }
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {n: run_overlay(n) for n in (2, 3, 5)}
+
+
+def test_overlay_table(sweep, benchmark):
+    benchmark.pedantic(lambda: run_overlay(2), rounds=2, iterations=1)
+    rows = [[n, stats["total_objects"], stats["max_table_entries"],
+             stats["local_mean_us"], stats["remote_mean_us"]]
+            for n, stats in sorted(sweep.items())]
+    print_table(
+        f"WAN overlay: per-region switch state and access locality "
+        f"({OBJECTS_PER_REGION} objects/region)",
+        ["regions", "objects", "max_tbl_entries", "local_us", "remote_us"],
+        rows,
+    )
+
+
+def test_switch_state_independent_of_deployment_size(sweep, benchmark):
+    def check():
+        # The hierarchical claim: per-switch state is the *regional*
+        # population no matter how many regions exist.
+        for stats in sweep.values():
+            assert stats["max_table_entries"] == OBJECTS_PER_REGION
+
+    bench_check(benchmark, check)
+
+
+def test_total_objects_scale_with_regions(sweep, benchmark):
+    def check():
+        totals = [sweep[n]["total_objects"] for n in sorted(sweep)]
+        assert totals == sorted(totals)
+        assert totals[-1] == 5 * OBJECTS_PER_REGION
+
+    bench_check(benchmark, check)
+
+
+def test_local_accesses_never_pay_wan(sweep, benchmark):
+    def check():
+        for stats in sweep.values():
+            assert stats["local_mean_us"] < WAN_LATENCY_US / 10
+
+    bench_check(benchmark, check)
+
+
+def test_remote_accesses_pay_exactly_the_gateway_trip(sweep, benchmark):
+    def check():
+        for stats in sweep.values():
+            # gateway->core->gateway is two WAN links each way.
+            assert stats["remote_mean_us"] > 4 * WAN_LATENCY_US
+            assert stats["remote_mean_us"] < 5 * WAN_LATENCY_US
+
+    bench_check(benchmark, check)

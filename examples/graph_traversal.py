@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Remote data-structure traversal: a case RPC cannot express (§1).
+
+A linked list of records spans many objects on a storage node.  The
+invoker wants the sum of all record values.  Three ways to get it:
+
+1. **mobile code, eager** — ship the traversal function to the data and
+   stage every chunk there first (one byte-level copy each);
+2. **mobile code, lazy** — ship the function; chunks are demand-read;
+3. **remote reads from the invoker** — what RPC-ish decoupling forces:
+   every pointer hop is a network round trip back to the invoker.
+
+Run:  python examples/graph_traversal.py
+"""
+
+from repro import FunctionRegistry, GlobalRef, GlobalSpaceRuntime, Simulator, build_star
+from repro.runtime import MODE_EAGER, MODE_LAZY
+from repro.workloads import build_linked_list, register_traversal
+
+N_RECORDS = 200
+RECORDS_PER_OBJECT = 10
+
+
+def build(seed=23):
+    sim = Simulator(seed=seed)
+    net = build_star(sim, 2, prefix="n")
+    registry = FunctionRegistry()
+    register_traversal(registry)
+    runtime = GlobalSpaceRuntime(net, registry)
+    invoker = runtime.add_node("n0")
+    storage = runtime.add_node("n1")
+    head, objects, values = build_linked_list(
+        storage.space, N_RECORDS, RECORDS_PER_OBJECT)
+    for obj in objects:
+        runtime.adopt_object("n1", obj)
+    _, code_ref = runtime.create_code("n0", "traverse_list", text_size=2048)
+    return sim, runtime, head, code_ref, objects, sum(values)
+
+
+def mobile_traversal(mode, candidates=None):
+    sim, runtime, head, code_ref, objects, expected = build()
+    data_refs = {"head": head}
+    if mode == MODE_EAGER:
+        # Eager staging wants the whole structure named up front.
+        data_refs.update({
+            f"chunk{i}": GlobalRef(obj.oid, 0, "read")
+            for i, obj in enumerate(objects)
+        })
+
+    def main():
+        result = yield sim.spawn(runtime.invoke(
+            "n0", code_ref, data_refs=data_refs, mode=mode, flops=1e4,
+            candidates=candidates))
+        return result
+
+    result = sim.run_process(main())
+    assert result.value["sum"] == expected
+    return result.latency_us, result.executed_at
+
+
+def invoker_side_traversal():
+    sim, runtime, head, code_ref, objects, expected = build()
+    invoker = runtime.node("n0")
+    from repro.workloads import LIST_NODE
+    from repro.core import InvariantPointer
+
+    def main():
+        total = 0
+        ref = head
+        while True:
+            raw = yield sim.spawn(invoker.remote_read(
+                ref.oid, ref.offset, LIST_NODE.size))
+            total += int.from_bytes(raw[8:16], "big")
+            pointer = InvariantPointer.from_bytes(raw[0:8])
+            if pointer.is_null:
+                break
+            if pointer.is_internal:
+                ref = GlobalRef(ref.oid, pointer.offset, "read")
+            else:
+                target_oid, target_offset = runtime.peek_object(ref.oid).resolve(pointer)
+                ref = GlobalRef(target_oid, target_offset, "read")
+        assert total == expected
+        return sim.now
+
+    return sim.run_process(main())
+
+
+def main():
+    print(f"Traversing a {N_RECORDS}-record list spread over "
+          f"{(N_RECORDS + RECORDS_PER_OBJECT - 1) // RECORDS_PER_OBJECT} "
+          "objects on a remote node\n")
+    eager_us, eager_at = mobile_traversal(MODE_EAGER)
+    storage_us, storage_at = mobile_traversal(MODE_LAZY, candidates=["n1"])
+    remote_us = invoker_side_traversal()
+    print(f"batched staging (eager invoke)     : {eager_us:10.1f}us "
+          f"(ran on {eager_at}; chunks fetched in parallel)")
+    print(f"code shipped to storage (lazy)     : {storage_us:10.1f}us "
+          f"(ran on {storage_at}; every pointer hop local)")
+    print(f"pointer chasing from the invoker   : {remote_us:10.1f}us "
+          f"({N_RECORDS}+ round trips)")
+    best = min(eager_us, storage_us)
+    print(f"\neither rendezvous form beats per-record round trips by "
+          f"{remote_us / best:.0f}x — the structure (or the code) moves "
+          "once instead of every record moving individually.")
+
+
+if __name__ == "__main__":
+    main()

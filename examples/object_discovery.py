@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Object discovery: regenerate the paper's Figures 2 and 3 at the CLI.
+
+Builds the §4 environment (three hosts, four interconnected switches)
+and sweeps the two experiments:
+
+* Figure 2 — access RTT and broadcast load as the fraction of accesses
+  to *new* objects grows, under the E2E and controller schemes;
+* Figure 3 — E2E access time as object movement stales the destination
+  cache, plus the "network absorbs the cost" forwarding variant.
+
+Run:  python examples/object_discovery.py
+"""
+
+from repro.discovery import (
+    SCHEME_CONTROLLER,
+    SCHEME_E2E,
+    run_fig2_point,
+    run_fig3_point,
+)
+
+SWEEP = [0, 15, 30, 45, 60, 75, 90]
+
+
+def figure_two():
+    print("== Figure 2: RTT vs % accesses to new objects ==")
+    print(f"{'new%':>5s} | {'controller':>21s} | {'E2E':>21s} | {'bc/100':>7s}")
+    print(f"{'':>5s} | {'mean':>9s} {'stdev':>9s}   | "
+          f"{'mean':>9s} {'stdev':>9s}   |")
+    for pct in SWEEP:
+        ctl = run_fig2_point(SCHEME_CONTROLLER, pct)
+        e2e = run_fig2_point(SCHEME_E2E, pct)
+        print(f"{pct:5d} | {ctl.mean_rtt_us:7.1f}us {ctl.stdev_rtt_us:7.1f}us | "
+              f"{e2e.mean_rtt_us:7.1f}us {e2e.stdev_rtt_us:7.1f}us | "
+              f"{e2e.broadcasts_per_100:7.1f}")
+    print("\nShape check (paper): controller flat at 1 RTT, zero broadcast;")
+    print("E2E climbs toward 2 RTTs with broadcasts tracking the new-object %.")
+
+
+def figure_three():
+    print("\n== Figure 3: E2E access time as the cache goes stale ==")
+    print(f"{'moved%':>6s} | {'plain E2E':>21s} | {'with forwarding':>15s}")
+    for pct in SWEEP:
+        plain = run_fig3_point(pct)
+        forwarded = run_fig3_point(pct, use_forwarding_hints=True)
+        print(f"{pct:6d} | {plain.mean_rtt_us:7.1f}us sd={plain.stdev_rtt_us:5.1f} "
+              f"rtts={plain.mean_round_trips:4.2f} | {forwarded.mean_rtt_us:7.1f}us")
+    print("\nShape check (paper): mean rises 1 -> 2 RTTs; variability peaks")
+    print("mid-sweep and collapses once nearly every access needs 2 RTTs;")
+    print("old-holder forwarding absorbs much of the cost in the network.")
+
+
+def main():
+    figure_two()
+    figure_three()
+
+
+if __name__ == "__main__":
+    main()

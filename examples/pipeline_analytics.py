@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Invocation plans: the §5 query-planning co-design.
+
+A three-stage analytics pipeline (extract -> transform -> summarize)
+over a dataset living in the cloud, invoked from a weak edge device.
+Run both ways:
+
+* the RPC idiom — each stage's full result returns to the edge and is
+  re-sent as the next stage's argument;
+* a :class:`~repro.runtime.Plan` — the rendezvous engine places each
+  stage, intermediates are materialized where they were produced, and
+  the next stage's executor pulls them directly.
+
+Run:  python examples/pipeline_analytics.py
+"""
+
+from repro import FunctionRegistry, GlobalRef, GlobalSpaceRuntime, Simulator
+from repro.core import CostModel
+from repro.net.topology import Network
+from repro.runtime import Plan, PlanStep, run_plan
+
+DATASET_BYTES = 200_000
+
+
+def build():
+    sim = Simulator(seed=113)
+    net = Network(sim, default_latency_us=5.0)
+    net.add_switch("edge_sw")
+    net.add_switch("cloud_sw")
+    net.connect("edge_sw", "cloud_sw", latency_us=50.0)
+    net.add_host("edge")
+    net.connect("edge", "edge_sw", latency_us=200.0)
+    for name in ("store", "compute"):
+        net.add_host(name)
+        net.connect(name, "cloud_sw")
+
+    registry = FunctionRegistry()
+
+    @registry.register("ex_extract")
+    def ex_extract(ctx, args):
+        raw = yield ctx.read(args["source"], 0, args["n"])
+        return [b for b in raw if b > 64]
+
+    @registry.register("ex_transform")
+    def ex_transform(ctx, args):
+        return sorted(set(args["rows"]))
+
+    @registry.register("ex_summarize")
+    def ex_summarize(ctx, args):
+        rows = args["rows"]
+        return {"distinct": len(rows), "lo": rows[0], "hi": rows[-1]}
+
+    runtime = GlobalSpaceRuntime(
+        net, registry, cost_model=CostModel(link_bandwidth_gbps=10.0))
+    runtime.add_node("edge", speed=0.3)
+    runtime.add_node("store")
+    runtime.add_node("compute")
+    dataset = runtime.create_object("store", size=DATASET_BYTES,
+                                    label="telemetry-archive")
+    dataset.write(0, bytes(range(256)) * (DATASET_BYTES // 256))
+    code = {}
+    for entry in ("ex_extract", "ex_transform", "ex_summarize"):
+        _, code[entry] = runtime.create_code("edge", entry, text_size=1024)
+    return sim, runtime, dataset, code
+
+
+def edge_bytes(runtime):
+    return sum(link.bytes_carried
+               for link in runtime.network.node("edge").links)
+
+
+def main():
+    # --- the RPC idiom ------------------------------------------------
+    sim, runtime, dataset, code = build()
+    start_bytes = edge_bytes(runtime)
+
+    def mediated():
+        start = sim.now
+        rows = yield sim.spawn(runtime.invoke(
+            "edge", code["ex_extract"],
+            data_refs={"source": GlobalRef(dataset.oid, 0, "read")},
+            values={"n": DATASET_BYTES}, flops=2e5))
+        rows2 = yield sim.spawn(runtime.invoke(
+            "edge", code["ex_transform"], values={"rows": rows.value},
+            flops=1e5))
+        summary = yield sim.spawn(runtime.invoke(
+            "edge", code["ex_summarize"], values={"rows": rows2.value},
+            flops=1e4))
+        return summary.value, sim.now - start
+
+    mediated_value, mediated_us = sim.run_process(mediated())
+    mediated_uplink = edge_bytes(runtime) - start_bytes
+
+    # --- the planned pipeline -------------------------------------------
+    sim, runtime, dataset, code = build()
+    start_bytes = edge_bytes(runtime)
+    plan = Plan(steps=[
+        PlanStep("extract", code["ex_extract"],
+                 data_refs={"source": GlobalRef(dataset.oid, 0, "read")},
+                 values={"n": DATASET_BYTES}, flops=2e5),
+        PlanStep("transform", code["ex_transform"],
+                 inputs_from={"rows": "extract"}, flops=1e5),
+        PlanStep("summarize", code["ex_summarize"],
+                 inputs_from={"rows": "transform"}, flops=1e4),
+    ])
+
+    def planned():
+        result = yield sim.spawn(run_plan(runtime, "edge", plan))
+        return result
+
+    result = sim.run_process(planned())
+    planned_uplink = edge_bytes(runtime) - start_bytes
+
+    assert result.value == mediated_value
+    print(f"dataset: {DATASET_BYTES:,d} bytes on 'store'; invoker: 'edge' "
+          "behind a 200us uplink\n")
+    print(f"{'strategy':18s} {'latency':>11s} {'edge uplink':>12s}  placements")
+    print("-" * 66)
+    print(f"{'RPC idiom':18s} {mediated_us:9.1f}us {mediated_uplink:11,d}B  "
+          "(every intermediate returns to the edge)")
+    print(f"{'planned pipeline':18s} {result.latency_us:9.1f}us "
+          f"{planned_uplink:11,d}B  {' -> '.join(result.executed_at)}")
+    print(f"\nresult: {result.value}")
+    print(f"uplink bytes saved by planning: "
+          f"{mediated_uplink - planned_uplink:,d} "
+          f"({mediated_uplink / max(planned_uplink, 1):.0f}x less edge traffic)")
+    print("\n(The crossover is real: with tiny intermediates the RPC idiom "
+          "can win on\nlatency by running later stages at the edge — "
+          "planning pays off as the\nintermediates grow relative to the "
+          "invoker's access link.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Export the paper-figure data series as CSV files.
+
+Writes results/fig2.csv, results/fig3.csv, and results/fig1.csv with the
+same series the benchmarks print, for anyone who wants to re-plot the
+figures.  Deterministic: same seeds as the benchmark suite.
+
+Run:  python scripts/export_figures.py [output_dir]
+"""
+
+import csv
+import pathlib
+import sys
+
+
+def export_fig2(out_dir: pathlib.Path) -> None:
+    from repro.discovery import SCHEME_CONTROLLER, SCHEME_E2E, run_fig2_point
+
+    rows = []
+    for pct in range(0, 100, 10):
+        ctl = run_fig2_point(SCHEME_CONTROLLER, pct)
+        e2e = run_fig2_point(SCHEME_E2E, pct)
+        rows.append([pct, ctl.mean_rtt_us, ctl.stdev_rtt_us,
+                     e2e.mean_rtt_us, e2e.stdev_rtt_us,
+                     e2e.broadcasts_per_100])
+    path = out_dir / "fig2.csv"
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["percent_new", "controller_mean_us", "controller_stdev_us",
+                         "e2e_mean_us", "e2e_stdev_us", "e2e_broadcasts_per_100"])
+        writer.writerows(rows)
+    print(f"wrote {path} ({len(rows)} points)")
+
+
+def export_fig3(out_dir: pathlib.Path) -> None:
+    from repro.discovery import run_fig3_point
+
+    rows = []
+    for pct in range(0, 100, 10):
+        plain = run_fig3_point(pct)
+        forwarded = run_fig3_point(pct, use_forwarding_hints=True)
+        rows.append([pct, plain.mean_rtt_us, plain.stdev_rtt_us,
+                     plain.mean_round_trips, forwarded.mean_rtt_us])
+    path = out_dir / "fig3.csv"
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["percent_moved", "e2e_mean_us", "e2e_stdev_us",
+                         "e2e_mean_round_trips", "forwarding_mean_us"])
+        writer.writerows(rows)
+    print(f"wrote {path} ({len(rows)} points)")
+
+
+def export_fig1(out_dir: pathlib.Path) -> None:
+    from repro.workloads import STRATEGIES, build_scenario, run_strategy
+
+    scenario = build_scenario()
+    rows = []
+
+    def runner():
+        for strategy in STRATEGIES:
+            record = yield scenario.sim.spawn(run_strategy(scenario, strategy))
+            rows.append([record.strategy, record.latency_us,
+                         record.invoker_uplink_bytes,
+                         record.orchestration_steps, record.executed_at])
+        return None
+
+    scenario.sim.run_process(runner())
+    path = out_dir / "fig1.csv"
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["strategy", "latency_us", "invoker_uplink_bytes",
+                         "orchestration_steps", "executed_at"])
+        writer.writerows(rows)
+    print(f"wrote {path} ({len(rows)} strategies)")
+
+
+def main() -> None:
+    out_dir = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else pathlib.Path("results")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    export_fig2(out_dir)
+    export_fig3(out_dir)
+    export_fig1(out_dir)
+
+
+if __name__ == "__main__":
+    main()

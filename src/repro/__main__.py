@@ -1,0 +1,57 @@
+"""``python -m repro`` — a 30-second self-check.
+
+Builds a tiny cluster, runs one rendezvous invocation, one discovery
+sweep point per scheme, and prints what happened.  A quick way to verify
+an installation before running the full test/benchmark suites.
+"""
+
+from __future__ import annotations
+
+
+def main() -> None:
+    """Run the self-check and print a short report."""
+    import repro
+    from repro import FunctionRegistry, GlobalRef, GlobalSpaceRuntime, Simulator, build_star
+    from repro.discovery import SCHEME_CONTROLLER, SCHEME_E2E, run_fig2_point
+
+    print(f"repro {repro.__version__} self-check")
+
+    sim = Simulator(seed=1)
+    net = build_star(sim, 3, prefix="n")
+    registry = FunctionRegistry()
+
+    @registry.register("selfcheck")
+    def selfcheck(ctx, args):
+        data = yield ctx.read(args["blob"], 0, 5)
+        return data.decode()
+
+    runtime = GlobalSpaceRuntime(net, registry)
+    for name in ("n0", "n1", "n2"):
+        runtime.add_node(name)
+    blob = runtime.create_object("n2", size=1 << 20)
+    blob.write(0, b"hello")
+    _, code_ref = runtime.create_code("n0", "selfcheck", text_size=256)
+
+    def run():
+        result = yield sim.spawn(runtime.invoke(
+            "n0", code_ref, data_refs={"blob": GlobalRef(blob.oid, 0, "read")}))
+        return result
+
+    result = sim.run_process(run())
+    assert result.value == "hello"
+    print(f"  rendezvous invoke: ok (ran on {result.executed_at}, "
+          f"{result.latency_us:.1f}us simulated)")
+
+    for scheme in (SCHEME_CONTROLLER, SCHEME_E2E):
+        point = run_fig2_point(scheme, 50, n_accesses=30)
+        assert point.failures == 0
+        print(f"  discovery [{scheme:10s}]: ok "
+              f"(mean {point.mean_rtt_us:.1f}us, "
+              f"{point.broadcasts_per_100:.0f} broadcasts/100)")
+
+    print("all good — try `pytest tests/` and "
+          "`pytest benchmarks/ --benchmark-only` next")
+
+
+if __name__ == "__main__":
+    main()

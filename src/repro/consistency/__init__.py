@@ -1,0 +1,15 @@
+"""Weakly consistent replication: CRDTs and gossip-based auto-merge."""
+
+from .crdts import CRDTError, GCounter, LWWRegister, ORSet, PNCounter
+from .replication import Replica, converge, gossip_round
+
+__all__ = [
+    "GCounter",
+    "PNCounter",
+    "LWWRegister",
+    "ORSet",
+    "CRDTError",
+    "Replica",
+    "gossip_round",
+    "converge",
+]

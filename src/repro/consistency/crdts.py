@@ -1,0 +1,317 @@
+"""Convergent replicated data types (CRDTs).
+
+§5: "we will explore how a whole-system view of object identity and
+references can interface with languages to support patterns for weakly
+consistent replication, such as auto-merging progressive objects like
+CRDTs during data movement."
+
+These are state-based (convergent) CRDTs: each replica mutates its local
+state and :meth:`merge` is a join — commutative, associative, and
+idempotent — so replicas converge regardless of delivery order or
+duplication (properties the hypothesis test suite checks).  Every type
+serializes via the wire codec so instances can live inside objects and
+merge when replicas of an object meet during movement.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Set, Tuple
+
+from ..rpc.serializer import decode, encode
+
+__all__ = ["GCounter", "PNCounter", "LWWRegister", "ORSet", "CRDTError"]
+
+
+class CRDTError(Exception):
+    """Raised on invalid CRDT operations (negative increments, type
+    mismatches in merge...)."""
+
+
+class GCounter:
+    """Grow-only counter: per-replica monotone counts, join = elementwise max."""
+
+    def __init__(self, replica_id: str):
+        if not replica_id:
+            raise CRDTError("replica id must be non-empty")
+        self.replica_id = replica_id
+        self._counts: Dict[str, int] = {}
+
+    def increment(self, amount: int = 1) -> None:
+        """Increase this replica's count by ``amount``."""
+        if amount < 0:
+            raise CRDTError("GCounter cannot decrease")
+        if amount == 0:
+            # A zero increment must not create a {replica: 0} entry:
+            # max-merge never propagates zeros, so such an entry would
+            # keep structurally-equal states comparing unequal forever.
+            return
+        self._counts[self.replica_id] = self._counts.get(self.replica_id, 0) + amount
+
+    @property
+    def value(self) -> int:
+        """The current value."""
+        return sum(self._counts.values())
+
+    def merge(self, other: "GCounter") -> None:
+        """Join other's state into ours (elementwise max)."""
+        if not isinstance(other, GCounter):
+            raise CRDTError(f"cannot merge GCounter with {type(other).__name__}")
+        for replica, count in other._counts.items():
+            if count > self._counts.get(replica, 0):
+                self._counts[replica] = count
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the wire byte encoding."""
+        return encode({"t": "g", "c": self._counts})
+
+    @classmethod
+    def from_bytes(cls, raw: bytes, replica_id: str) -> "GCounter":
+        """Rebuild an instance from its wire byte encoding."""
+        payload = decode(raw)
+        if payload.get("t") != "g":
+            raise CRDTError("not a GCounter encoding")
+        counter = cls(replica_id)
+        counter._counts = dict(payload["c"])
+        return counter
+
+    def copy(self) -> "GCounter":
+        """Return an independent deep copy of this instance."""
+        twin = GCounter(self.replica_id)
+        twin._counts = dict(self._counts)
+        return twin
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, GCounter) and other._counts == self._counts
+
+    def __repr__(self) -> str:
+        return f"GCounter(value={self.value}, replicas={len(self._counts)})"
+
+
+class PNCounter:
+    """Increment/decrement counter: a pair of GCounters."""
+
+    def __init__(self, replica_id: str):
+        self.replica_id = replica_id
+        self._pos = GCounter(replica_id)
+        self._neg = GCounter(replica_id)
+
+    def increment(self, amount: int = 1) -> None:
+        """Increase this replica's count by ``amount``."""
+        if amount < 0:
+            raise CRDTError("use decrement for negative changes")
+        self._pos.increment(amount)
+
+    def decrement(self, amount: int = 1) -> None:
+        """Decrease the value by ``amount`` (tracked separately)."""
+        if amount < 0:
+            raise CRDTError("decrement takes a non-negative amount")
+        self._neg.increment(amount)
+
+    @property
+    def value(self) -> int:
+        """The current value."""
+        return self._pos.value - self._neg.value
+
+    def merge(self, other: "PNCounter") -> None:
+        """Join another replica's state into this one (CvRDT join)."""
+        if not isinstance(other, PNCounter):
+            raise CRDTError(f"cannot merge PNCounter with {type(other).__name__}")
+        self._pos.merge(other._pos)
+        self._neg.merge(other._neg)
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the wire byte encoding."""
+        return encode({"t": "pn", "p": self._pos._counts, "n": self._neg._counts})
+
+    @classmethod
+    def from_bytes(cls, raw: bytes, replica_id: str) -> "PNCounter":
+        """Rebuild an instance from its wire byte encoding."""
+        payload = decode(raw)
+        if payload.get("t") != "pn":
+            raise CRDTError("not a PNCounter encoding")
+        counter = cls(replica_id)
+        counter._pos._counts = dict(payload["p"])
+        counter._neg._counts = dict(payload["n"])
+        return counter
+
+    def copy(self) -> "PNCounter":
+        """Return an independent deep copy of this instance."""
+        twin = PNCounter(self.replica_id)
+        twin._pos = self._pos.copy()
+        twin._neg = self._neg.copy()
+        return twin
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, PNCounter)
+                and other._pos == self._pos and other._neg == self._neg)
+
+    def __repr__(self) -> str:
+        return f"PNCounter(value={self.value})"
+
+
+class LWWRegister:
+    """Last-writer-wins register.
+
+    Writes carry a (timestamp, replica_id) pair; merge keeps the larger
+    pair, breaking timestamp ties by replica id so the join stays
+    deterministic and commutative.
+    """
+
+    def __init__(self, replica_id: str):
+        self.replica_id = replica_id
+        self._stamp: Tuple[float, str] = (float("-inf"), "")
+        self._value: Any = None
+
+    def set(self, value: Any, timestamp: float) -> None:
+        """Record a write at ``timestamp`` (the caller's clock — in the
+        simulation, ``sim.now``)."""
+        stamp = (timestamp, self.replica_id)
+        if stamp > self._stamp:
+            self._stamp = stamp
+            self._value = value
+
+    @property
+    def value(self) -> Any:
+        """The current value."""
+        return self._value
+
+    @property
+    def timestamp(self) -> float:
+        """Timestamp of the winning write."""
+        return self._stamp[0]
+
+    def merge(self, other: "LWWRegister") -> None:
+        """Join another replica's state into this one (CvRDT join)."""
+        if not isinstance(other, LWWRegister):
+            raise CRDTError(f"cannot merge LWWRegister with {type(other).__name__}")
+        if other._stamp > self._stamp:
+            self._stamp = other._stamp
+            self._value = other._value
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the wire byte encoding."""
+        return encode({"t": "lww", "ts": self._stamp[0], "rid": self._stamp[1],
+                       "v": self._value})
+
+    @classmethod
+    def from_bytes(cls, raw: bytes, replica_id: str) -> "LWWRegister":
+        """Rebuild an instance from its wire byte encoding."""
+        payload = decode(raw)
+        if payload.get("t") != "lww":
+            raise CRDTError("not a LWWRegister encoding")
+        register = cls(replica_id)
+        register._stamp = (payload["ts"], payload["rid"])
+        register._value = payload["v"]
+        return register
+
+    def copy(self) -> "LWWRegister":
+        """Return an independent deep copy of this instance."""
+        twin = LWWRegister(self.replica_id)
+        twin._stamp = self._stamp
+        twin._value = self._value
+        return twin
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, LWWRegister)
+                and other._stamp == self._stamp and other._value == self._value)
+
+    def __repr__(self) -> str:
+        return f"LWWRegister(value={self._value!r}, ts={self._stamp[0]})"
+
+
+class ORSet:
+    """Observed-remove set.
+
+    Adds tag each element with a unique (replica, counter) pair; remove
+    deletes the tags it has *observed*.  Concurrent add wins over
+    remove, the standard OR-Set semantics.
+    """
+
+    def __init__(self, replica_id: str):
+        if not replica_id:
+            raise CRDTError("replica id must be non-empty")
+        self.replica_id = replica_id
+        self._next_tag = 0
+        # element -> set of live tags; tombstones collect removed tags.
+        self._entries: Dict[Any, Set[Tuple[str, int]]] = {}
+        self._tombstones: Set[Tuple[str, int]] = set()
+
+    def add(self, element: Any) -> None:
+        """Add an element with a fresh unique tag."""
+        tag = (self.replica_id, self._next_tag)
+        self._next_tag += 1
+        self._entries.setdefault(element, set()).add(tag)
+
+    def remove(self, element: Any) -> None:
+        """Remove every currently observed tag of ``element``."""
+        tags = self._entries.pop(element, set())
+        self._tombstones |= tags
+
+    def __contains__(self, element: Any) -> bool:
+        return element in self._entries
+
+    def elements(self) -> Set[Any]:
+        """The set of currently present elements."""
+        return set(self._entries)
+
+    def merge(self, other: "ORSet") -> None:
+        """Join another replica's state into this one (CvRDT join)."""
+        if not isinstance(other, ORSet):
+            raise CRDTError(f"cannot merge ORSet with {type(other).__name__}")
+        self._tombstones |= other._tombstones
+        merged: Dict[Any, Set[Tuple[str, int]]] = {}
+        for source in (self._entries, other._entries):
+            for element, tags in source.items():
+                merged.setdefault(element, set()).update(tags)
+        self._entries = {}
+        for element, tags in merged.items():
+            live = tags - self._tombstones
+            if live:
+                self._entries[element] = live
+        # Keep tag counters ahead of anything we have seen from our own id.
+        own = [tag[1] for tags in self._entries.values() for tag in tags
+               if tag[0] == self.replica_id]
+        own += [tag[1] for tag in self._tombstones if tag[0] == self.replica_id]
+        if own:
+            self._next_tag = max(self._next_tag, max(own) + 1)
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the wire byte encoding."""
+        entries = [
+            [repr_key, [[rid, n] for rid, n in sorted(tags)]]
+            for repr_key, tags in sorted(
+                ((element, tags) for element, tags in self._entries.items()),
+                key=lambda pair: str(pair[0]),
+            )
+        ]
+        tombs = [[rid, n] for rid, n in sorted(self._tombstones)]
+        return encode({"t": "or", "e": entries, "d": tombs, "n": self._next_tag})
+
+    @classmethod
+    def from_bytes(cls, raw: bytes, replica_id: str) -> "ORSet":
+        """Rebuild an instance from its wire byte encoding."""
+        payload = decode(raw)
+        if payload.get("t") != "or":
+            raise CRDTError("not an ORSet encoding")
+        instance = cls(replica_id)
+        instance._next_tag = payload["n"]
+        for element, tags in payload["e"]:
+            instance._entries[element] = {(rid, n) for rid, n in tags}
+        instance._tombstones = {(rid, n) for rid, n in payload["d"]}
+        return instance
+
+    def copy(self) -> "ORSet":
+        """Return an independent deep copy of this instance."""
+        twin = ORSet(self.replica_id)
+        twin._next_tag = self._next_tag
+        twin._entries = {element: set(tags) for element, tags in self._entries.items()}
+        twin._tombstones = set(self._tombstones)
+        return twin
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, ORSet)
+                and other._entries == self._entries
+                and other._tombstones == self._tombstones)
+
+    def __repr__(self) -> str:
+        return f"ORSet(elements={sorted(map(str, self._entries))})"

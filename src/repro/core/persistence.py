@@ -1,0 +1,160 @@
+"""Orthogonal persistence over the object space.
+
+§3.1: "data structures can be encoded in a machine- and process-
+independent format; in Twizzler, this facilitates orthogonal
+persistence, while we plan to use this feature for cheap data movement."
+
+Because objects never contain host-relative state, persistence *is* the
+byte-level copy pointed at a device instead of a wire: a
+:class:`PersistentStore` (a stand-in for NVM) holds object images, and a
+restored space is immediately usable — every invariant pointer still
+resolves, with no deserialization or swizzling pass.  The same property
+that makes movement cheap makes persistence free of translation layers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from .objectid import ObjectID
+from .objects import MemObject, ObjectError
+from .space import ObjectSpace
+
+__all__ = ["PersistentStore", "PersistenceError"]
+
+_MAGIC = b"RPRO"
+_FORMAT_VERSION = 1
+
+
+class PersistenceError(Exception):
+    """Raised for corrupt images or version conflicts."""
+
+
+class PersistentStore:
+    """A simulated persistent device: object images keyed by identity.
+
+    Writes are versioned — persisting an image older than the stored one
+    is rejected (torn-update protection a real system would get from a
+    crash-consistent commit protocol).
+    """
+
+    def __init__(self, name: str = "nvm0"):
+        self.name = name
+        self._images: Dict[ObjectID, bytes] = {}
+        self._versions: Dict[ObjectID, int] = {}
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    # -- per-object ---------------------------------------------------------
+    def persist(self, obj: MemObject) -> int:
+        """Write one object's image; returns the bytes written."""
+        stored_version = self._versions.get(obj.oid)
+        if stored_version is not None and obj.version < stored_version:
+            raise PersistenceError(
+                f"object {obj.oid.short()}: image v{obj.version} is older "
+                f"than stored v{stored_version}"
+            )
+        image = obj.to_wire()
+        self._images[obj.oid] = image
+        self._versions[obj.oid] = obj.version
+        self.bytes_written += len(image)
+        return len(image)
+
+    def recover(self, oid: ObjectID) -> MemObject:
+        """Rebuild one object from its stored image."""
+        image = self._images.get(oid)
+        if image is None:
+            raise PersistenceError(f"no image stored for {oid.short()}")
+        self.bytes_read += len(image)
+        return MemObject.from_wire(image)
+
+    def forget(self, oid: ObjectID) -> bool:
+        """Delete one image; True if it existed."""
+        self._versions.pop(oid, None)
+        return self._images.pop(oid, None) is not None
+
+    def __contains__(self, oid: ObjectID) -> bool:
+        return oid in self._images
+
+    def __len__(self) -> int:
+        return len(self._images)
+
+    def stored_version(self, oid: ObjectID) -> Optional[int]:
+        """Version of the stored image, or None."""
+        return self._versions.get(oid)
+
+    # -- whole-space checkpoints ----------------------------------------------
+    def checkpoint(self, space: ObjectSpace) -> int:
+        """Persist every resident object; returns the object count."""
+        count = 0
+        for obj in space:
+            self.persist(obj)
+            count += 1
+        return count
+
+    def restore_into(self, space: ObjectSpace,
+                     oids: Optional[Iterable[ObjectID]] = None) -> int:
+        """Recover stored objects into ``space`` (all of them by default).
+
+        Objects already resident at an equal-or-newer version are left
+        alone; the return value counts the objects actually restored.
+        """
+        targets = list(oids) if oids is not None else list(self._images)
+        restored = 0
+        for oid in targets:
+            obj = self.recover(oid)
+            existing = space.try_get(oid)
+            if existing is not None and existing.version >= obj.version:
+                continue
+            if existing is not None:
+                space.evict(oid)
+            space.insert(obj)
+            restored += 1
+        return restored
+
+    # -- single-blob device image -------------------------------------------
+    def to_blob(self) -> bytes:
+        """Serialize the whole store as one byte string (the disk image)."""
+        parts: List[bytes] = [
+            _MAGIC,
+            _FORMAT_VERSION.to_bytes(2, "big"),
+            len(self._images).to_bytes(4, "big"),
+        ]
+        for oid in sorted(self._images):
+            image = self._images[oid]
+            parts.append(len(image).to_bytes(8, "big"))
+            parts.append(image)
+        return b"".join(parts)
+
+    @classmethod
+    def from_blob(cls, blob: bytes, name: str = "nvm0") -> "PersistentStore":
+        """Rebuild a store from :meth:`to_blob` output."""
+        if blob[:4] != _MAGIC:
+            raise PersistenceError("bad magic: not a persistent store image")
+        version = int.from_bytes(blob[4:6], "big")
+        if version != _FORMAT_VERSION:
+            raise PersistenceError(f"unsupported image format v{version}")
+        count = int.from_bytes(blob[6:10], "big")
+        store = cls(name=name)
+        at = 10
+        for _ in range(count):
+            if at + 8 > len(blob):
+                raise PersistenceError("truncated store image")
+            length = int.from_bytes(blob[at : at + 8], "big")
+            at += 8
+            image = blob[at : at + length]
+            if len(image) != length:
+                raise PersistenceError("truncated object image")
+            at += length
+            try:
+                obj = MemObject.from_wire(image)
+            except ObjectError as exc:
+                raise PersistenceError(f"corrupt object image: {exc}") from exc
+            store._images[obj.oid] = image
+            store._versions[obj.oid] = obj.version
+        if at != len(blob):
+            raise PersistenceError(f"trailing bytes in store image: {len(blob) - at}")
+        return store
+
+    def __repr__(self) -> str:
+        return f"<PersistentStore {self.name} objects={len(self)}>"

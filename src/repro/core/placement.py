@@ -1,0 +1,232 @@
+"""The rendezvous placement engine.
+
+§3.1: "in our model the programmer would not be directly asking Carol to
+perform the computation; instead the placement decision would be made by
+the system."  The programmer supplies a code reference and data
+references; this engine picks the execution node by minimizing an
+estimated completion time that accounts for:
+
+* moving every non-resident input (code included — code is just another
+  object) to the candidate node, in parallel;
+* queueing behind the candidate's current load (Bob is overloaded, Carol
+  is idle — the §2 scenario);
+* compute time scaled by the candidate's speed;
+* returning the result to the invoker.
+
+Because object movement is a byte-level copy, the estimator only needs
+*transfer* costs — the §3.1 observation that removing the serialization
+walk makes placement cost models simpler and more accurate.  The
+``transfer_blind`` flag disables the transfer term for the E5 ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .costmodel import CostModel, DEFAULT_COST_MODEL
+from .refs import GlobalRef
+
+__all__ = [
+    "NodeProfile",
+    "MovementPlan",
+    "PlacementItem",
+    "PlacementRequest",
+    "PlacementDecision",
+    "PlacementEngine",
+    "PlacementError",
+]
+
+# Hop-count oracle between named nodes; the runtime supplies one backed
+# by the simulated topology.
+DistanceFn = Callable[[str, str], int]
+
+
+class PlacementError(Exception):
+    """Raised when no feasible execution node exists."""
+
+
+@dataclass(frozen=True)
+class NodeProfile:
+    """Static + dynamic description of a candidate execution node.
+
+    * ``speed`` — relative compute throughput (1.0 = reference server);
+    * ``active_jobs`` — current queue depth (queueing multiplies compute);
+    * ``capacity_bytes`` — memory available for staged inputs (0 = none:
+      a node that cannot hold the model cannot run the job, the "Alice's
+      fragment is too large" constraint);
+    * ``can_execute`` — policy bit (e.g., a privacy rule may forbid
+      running on a cloud node).
+    """
+
+    name: str
+    speed: float = 1.0
+    active_jobs: int = 0
+    capacity_bytes: int = 1 << 40
+    can_execute: bool = True
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise PlacementError(f"node {self.name!r}: speed must be positive")
+        if self.active_jobs < 0:
+            raise PlacementError(f"node {self.name!r}: negative load")
+        if self.capacity_bytes < 0:
+            raise PlacementError(f"node {self.name!r}: negative capacity")
+
+
+@dataclass(frozen=True)
+class PlacementItem:
+    """One input the computation needs: a reference, its size, and where
+    replicas currently live (host names)."""
+
+    ref: GlobalRef
+    size_bytes: int
+    locations: Tuple[str, ...]
+    pinned: bool = False  # True: may not be moved (privacy/local-only data)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise PlacementError("item size must be non-negative")
+        if not self.locations:
+            raise PlacementError(f"item {self.ref} has no resident location")
+
+
+@dataclass(frozen=True)
+class PlacementRequest:
+    """Everything the engine needs to place one invocation."""
+
+    code: PlacementItem
+    inputs: Tuple[PlacementItem, ...]
+    invoker: str
+    result_bytes: int = 1024
+    flops: float = 1e6
+
+
+@dataclass(frozen=True)
+class MovementPlan:
+    """One planned object movement: what, from where, to where, cost."""
+
+    ref: GlobalRef
+    size_bytes: int
+    source: str
+    destination: str
+    transfer_us: float
+
+
+@dataclass
+class PlacementDecision:
+    """The engine's answer: where to run and the predicted timeline."""
+
+    node: str
+    movements: List[MovementPlan]
+    stage_in_us: float
+    queue_us: float
+    compute_us: float
+    result_return_us: float
+    total_us: float
+    considered: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def bytes_moved(self) -> int:
+        """Total bytes across all planned movements."""
+        return sum(m.size_bytes for m in self.movements)
+
+
+class PlacementEngine:
+    """Chooses the execution node minimizing estimated completion time."""
+
+    def __init__(
+        self,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        queue_penalty_us: float = 50.0,
+        transfer_blind: bool = False,
+    ):
+        self.cost_model = cost_model
+        self.queue_penalty_us = queue_penalty_us
+        self.transfer_blind = transfer_blind
+
+    # -- candidate evaluation ------------------------------------------------
+    def _nearest_source(
+        self, item: PlacementItem, node: str, distance: DistanceFn
+    ) -> Tuple[str, int]:
+        """Closest replica of ``item`` to ``node`` (host name, hop count)."""
+        best = min(item.locations, key=lambda loc: distance(loc, node))
+        return best, distance(best, node)
+
+    def _evaluate(
+        self,
+        request: PlacementRequest,
+        node: NodeProfile,
+        distance: DistanceFn,
+    ) -> Optional[PlacementDecision]:
+        items = (request.code,) + request.inputs
+        movements: List[MovementPlan] = []
+        staged_bytes = 0
+        stage_in_us = 0.0
+        for item in items:
+            if node.name in item.locations:
+                continue  # already resident
+            if item.pinned:
+                return None  # this input may not move; node infeasible
+            source, hops = self._nearest_source(item, node.name, distance)
+            transfer = self.cost_model.fetch_transfer(item.size_bytes, hops=max(hops, 1))
+            movements.append(
+                MovementPlan(item.ref, item.size_bytes, source, node.name, transfer.total_us)
+            )
+            staged_bytes += item.size_bytes
+            # Inputs are fetched in parallel: latency is the slowest fetch.
+            stage_in_us = max(stage_in_us, transfer.total_us)
+        if staged_bytes > node.capacity_bytes:
+            return None
+        queue_us = node.active_jobs * self.queue_penalty_us
+        compute_us = self.cost_model.compute_time_us(request.flops) / node.speed
+        result_hops = distance(node.name, request.invoker)
+        result_return_us = (
+            0.0
+            if result_hops == 0
+            else self.cost_model.object_transfer(request.result_bytes, hops=result_hops).total_us
+        )
+        effective_stage_in = 0.0 if self.transfer_blind else stage_in_us
+        effective_return = 0.0 if self.transfer_blind else result_return_us
+        total = effective_stage_in + queue_us + compute_us + effective_return
+        return PlacementDecision(
+            node=node.name,
+            movements=movements,
+            stage_in_us=stage_in_us,
+            queue_us=queue_us,
+            compute_us=compute_us,
+            result_return_us=result_return_us,
+            total_us=total,
+        )
+
+    def decide(
+        self,
+        request: PlacementRequest,
+        candidates: Sequence[NodeProfile],
+        distance: DistanceFn,
+    ) -> PlacementDecision:
+        """Pick the best execution node among ``candidates``.
+
+        Raises :class:`PlacementError` if no candidate is feasible (all
+        lack capacity, permission, or required pinned inputs).
+        """
+        if not candidates:
+            raise PlacementError("no candidate nodes supplied")
+        best: Optional[PlacementDecision] = None
+        considered: Dict[str, float] = {}
+        for node in candidates:
+            if not node.can_execute:
+                continue
+            decision = self._evaluate(request, node, distance)
+            if decision is None:
+                continue
+            considered[node.name] = decision.total_us
+            if best is None or decision.total_us < best.total_us:
+                best = decision
+        if best is None:
+            raise PlacementError(
+                "no feasible execution node: every candidate lacks capacity, "
+                "permission, or a required pinned input"
+            )
+        best.considered = considered
+        return best

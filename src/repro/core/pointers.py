@@ -1,0 +1,127 @@
+"""64-bit invariant pointers.
+
+The pointer encoding from §3.1 / Twizzler: a pointer occupies only 64
+bits yet references data in a 128-bit object space, because it stores a
+(FOT index, offset) pair rather than a raw address.  Pointers are
+*invariant*: they mean the same thing no matter which host or process
+interprets them, which is what makes cross-host byte-level copies of
+pointer-bearing data structures legal (the "Serialization" argument in
+§3.1 — no swizzling, no marshalling).
+
+Layout (64 bits): ``[ fot_index : 16 | offset : 48 ]``.
+``fot_index == 0`` means the offset is within the pointer's own object.
+A pointer with all bits zero is the null pointer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "InvariantPointer",
+    "PointerError",
+    "POINTER_BYTES",
+    "FOT_INDEX_BITS",
+    "OFFSET_BITS",
+    "MAX_OFFSET",
+    "MAX_FOT_INDEX",
+]
+
+POINTER_BYTES = 8
+FOT_INDEX_BITS = 16
+OFFSET_BITS = 48
+MAX_FOT_INDEX = (1 << FOT_INDEX_BITS) - 1
+MAX_OFFSET = (1 << OFFSET_BITS) - 1
+_OFFSET_MASK = MAX_OFFSET
+
+
+class PointerError(Exception):
+    """Raised for malformed pointer encodings."""
+
+
+@dataclass(frozen=True)
+class InvariantPointer:
+    """A 64-bit (FOT index, offset) pointer.
+
+    Use :meth:`internal` for intra-object pointers and :meth:`external`
+    for pointers that go through a FOT slot.  The raw 64-bit encoding is
+    available via :attr:`raw` / :meth:`to_bytes` and is what actually
+    lives inside object memory.
+    """
+
+    fot_index: int
+    offset: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.fot_index <= MAX_FOT_INDEX:
+            raise PointerError(f"FOT index out of range: {self.fot_index}")
+        if not 0 <= self.offset <= MAX_OFFSET:
+            raise PointerError(f"offset out of 48-bit range: {self.offset}")
+
+    # -- constructors --------------------------------------------------
+    @classmethod
+    def internal(cls, offset: int) -> "InvariantPointer":
+        """Pointer to ``offset`` within the same object (FOT index 0)."""
+        return cls(0, offset)
+
+    @classmethod
+    def external(cls, fot_index: int, offset: int) -> "InvariantPointer":
+        """Pointer through FOT slot ``fot_index`` (must be >= 1)."""
+        if fot_index < 1:
+            raise PointerError("external pointers need FOT index >= 1")
+        return cls(fot_index, offset)
+
+    @classmethod
+    def null(cls) -> "InvariantPointer":
+        """The all-zero null pointer."""
+        return cls(0, 0)
+
+    # -- predicates ------------------------------------------------------
+    @property
+    def is_null(self) -> bool:
+        """True for the null reference/pointer."""
+        return self.fot_index == 0 and self.offset == 0
+
+    @property
+    def is_internal(self) -> bool:
+        """True for a same-object (FOT index 0) pointer."""
+        return self.fot_index == 0 and self.offset != 0
+
+    @property
+    def is_external(self) -> bool:
+        """True for a pointer that goes through a FOT slot."""
+        return self.fot_index != 0
+
+    # -- encoding --------------------------------------------------------
+    @property
+    def raw(self) -> int:
+        """The 64-bit integer encoding."""
+        return (self.fot_index << OFFSET_BITS) | self.offset
+
+    @classmethod
+    def from_raw(cls, raw: int) -> "InvariantPointer":
+        """Decode from the raw 64-bit integer encoding."""
+        if not 0 <= raw < (1 << 64):
+            raise PointerError(f"raw pointer out of 64-bit range: {raw:#x}")
+        return cls(raw >> OFFSET_BITS, raw & _OFFSET_MASK)
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the wire byte encoding."""
+        return self.raw.to_bytes(POINTER_BYTES, "big")
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "InvariantPointer":
+        """Rebuild an instance from its wire byte encoding."""
+        if len(raw) != POINTER_BYTES:
+            raise PointerError(f"pointer needs {POINTER_BYTES} bytes, got {len(raw)}")
+        return cls.from_raw(int.from_bytes(raw, "big"))
+
+    def with_offset(self, offset: int) -> "InvariantPointer":
+        """Same FOT slot, different offset (pointer arithmetic result)."""
+        return InvariantPointer(self.fot_index, offset)
+
+    def __repr__(self) -> str:
+        if self.is_null:
+            return "InvariantPointer(null)"
+        kind = "internal" if self.is_internal else f"fot={self.fot_index}"
+        return f"InvariantPointer({kind}, offset={self.offset:#x})"

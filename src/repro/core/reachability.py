@@ -1,0 +1,129 @@
+"""Reachability graphs over FOTs, and identity-based prefetching.
+
+§3.1: the FOT "offers a translucent view into application semantics by
+way of a reachability graph for each object.  This graph can be used by
+the system to perform prefetching based on data identity and actual
+reachability instead of some proxy for identity (e.g., adjacency, as is
+used today)."
+
+This module builds that graph and implements both prefetch policies so
+experiment E8 can compare them: reachability prefetch follows FOT edges;
+the adjacency baseline guesses "objects created around the same time".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+
+from .objectid import ObjectID
+from .objects import MemObject
+
+__all__ = [
+    "ReachabilityGraph",
+    "reachability_prefetch",
+    "adjacency_prefetch",
+]
+
+Resolver = Callable[[ObjectID], Optional[MemObject]]
+
+
+class ReachabilityGraph:
+    """Directed graph: object -> objects its FOT references.
+
+    Built lazily through a resolver so it works over a *distributed*
+    object population: unresolvable IDs (remote, never seen) become
+    frontier nodes with no out-edges.
+    """
+
+    def __init__(self, resolver: Resolver):
+        self._resolver = resolver
+        self._edges: Dict[ObjectID, List[ObjectID]] = {}
+
+    @classmethod
+    def from_objects(cls, objects: Iterable[MemObject]) -> "ReachabilityGraph":
+        """Convenience: build over an in-memory object collection."""
+        table = {obj.oid: obj for obj in objects}
+        return cls(table.get)
+
+    def successors(self, oid: ObjectID) -> List[ObjectID]:
+        """FOT targets of ``oid`` (empty if unresolvable)."""
+        if oid not in self._edges:
+            obj = self._resolver(oid)
+            self._edges[oid] = obj.fot.targets() if obj is not None else []
+        return list(self._edges[oid])
+
+    def invalidate(self, oid: ObjectID) -> None:
+        """Drop the cached edge list (the object's FOT changed)."""
+        self._edges.pop(oid, None)
+
+    def reachable(self, root: ObjectID, max_depth: Optional[int] = None) -> List[ObjectID]:
+        """BFS order of objects reachable from ``root`` (root included).
+
+        ``max_depth`` limits hop count (0 = just the root); None means
+        unbounded.  Cycles are handled.
+        """
+        order: List[ObjectID] = []
+        seen: Set[ObjectID] = {root}
+        queue: deque = deque([(root, 0)])
+        while queue:
+            oid, depth = queue.popleft()
+            order.append(oid)
+            if max_depth is not None and depth >= max_depth:
+                continue
+            for succ in self.successors(oid):
+                if succ not in seen:
+                    seen.add(succ)
+                    queue.append((succ, depth + 1))
+        return order
+
+    def distances(self, root: ObjectID) -> Dict[ObjectID, int]:
+        """Hop counts from ``root`` to every reachable object."""
+        dist: Dict[ObjectID, int] = {root: 0}
+        queue: deque = deque([root])
+        while queue:
+            oid = queue.popleft()
+            for succ in self.successors(oid):
+                if succ not in dist:
+                    dist[succ] = dist[oid] + 1
+                    queue.append(succ)
+        return dist
+
+
+def reachability_prefetch(
+    graph: ReachabilityGraph, root: ObjectID, depth: int, budget: int
+) -> List[ObjectID]:
+    """Identity-based prefetch set: up to ``budget`` objects within
+    ``depth`` FOT hops of ``root``, excluding the root itself, in BFS
+    order (closest first)."""
+    if budget <= 0 or depth <= 0:
+        return []
+    order = graph.reachable(root, max_depth=depth)
+    return order[1 : budget + 1]
+
+
+def adjacency_prefetch(
+    creation_order: Sequence[ObjectID], root: ObjectID, budget: int
+) -> List[ObjectID]:
+    """The adjacency *proxy* baseline: prefetch the objects created just
+    after (then just before) the root — "nearby" in allocation order,
+    which is what address-adjacency prefetchers effectively guess.
+    Returns at most ``budget`` IDs, or an empty list if the root is
+    unknown to the allocation log."""
+    if budget <= 0:
+        return []
+    try:
+        index = creation_order.index(root)
+    except ValueError:
+        return []
+    picks: List[ObjectID] = []
+    forward = index + 1
+    backward = index - 1
+    while len(picks) < budget and (forward < len(creation_order) or backward >= 0):
+        if forward < len(creation_order):
+            picks.append(creation_order[forward])
+            forward += 1
+        if len(picks) < budget and backward >= 0:
+            picks.append(creation_order[backward])
+            backward -= 1
+    return picks

@@ -1,0 +1,106 @@
+"""First-class global references.
+
+A :class:`GlobalRef` names data anywhere in the global address space:
+(object ID, offset).  It is the unit the invocation API passes instead of
+values — the §3.1 "call-by-reference instead of by-value" primitive.  A
+reference is 24 bytes on the wire regardless of how large the referenced
+data is, which is exactly why passing one is cheap.
+
+References can also carry an access mode, supporting the paper's point
+that an invoker may refer to data *it is not allowed to read* (the
+privacy case in §1): a ref with ``mode="opaque"`` can be passed along and
+dereferenced only where policy allows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .objectid import ObjectID
+
+__all__ = ["GlobalRef", "RefError", "MODE_READ", "MODE_WRITE", "MODE_OPAQUE", "REF_WIRE_BYTES"]
+
+MODE_READ = "read"
+MODE_WRITE = "write"
+MODE_OPAQUE = "opaque"
+_MODES = {MODE_READ: 0, MODE_WRITE: 1, MODE_OPAQUE: 2}
+_MODES_REV = {v: k for k, v in _MODES.items()}
+
+# 16B object ID + 6B offset + 1B mode + 1B reserved.
+REF_WIRE_BYTES = 24
+
+
+class RefError(Exception):
+    """Raised for malformed references."""
+
+
+@dataclass(frozen=True)
+class GlobalRef:
+    """A reference to (object, offset) valid on any host.
+
+    ``mode`` records the holder's access intent/rights:
+
+    * ``read``  — holder may read through the ref;
+    * ``write`` — holder may read and write;
+    * ``opaque``— holder may only pass the ref along (privacy case).
+    """
+
+    oid: ObjectID
+    offset: int = 0
+    mode: str = MODE_WRITE
+
+    def __post_init__(self) -> None:
+        if self.oid.is_null:
+            raise RefError("cannot reference the null object")
+        if not 0 <= self.offset < (1 << 48):
+            raise RefError(f"offset out of 48-bit range: {self.offset}")
+        if self.mode not in _MODES:
+            raise RefError(f"unknown ref mode: {self.mode!r}")
+
+    @property
+    def readable(self) -> bool:
+        """Whether read access is permitted."""
+        return self.mode in (MODE_READ, MODE_WRITE)
+
+    @property
+    def writable(self) -> bool:
+        """Whether write access is permitted."""
+        return self.mode == MODE_WRITE
+
+    def at(self, offset: int) -> "GlobalRef":
+        """Same object, different offset."""
+        return GlobalRef(self.oid, offset, self.mode)
+
+    def readonly(self) -> "GlobalRef":
+        """Downgrade to a read-only reference."""
+        return GlobalRef(self.oid, self.offset, MODE_READ)
+
+    def opaque(self) -> "GlobalRef":
+        """Downgrade to a pass-only reference."""
+        return GlobalRef(self.oid, self.offset, MODE_OPAQUE)
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the wire byte encoding."""
+        return (
+            self.oid.to_bytes()
+            + self.offset.to_bytes(6, "big")
+            + _MODES[self.mode].to_bytes(1, "big")
+            + b"\x00"
+        )
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "GlobalRef":
+        """Rebuild an instance from its wire byte encoding."""
+        if len(raw) != REF_WIRE_BYTES:
+            raise RefError(f"GlobalRef needs {REF_WIRE_BYTES} bytes, got {len(raw)}")
+        mode_code = raw[22]
+        if mode_code not in _MODES_REV:
+            raise RefError(f"unknown ref mode code {mode_code}")
+        return cls(
+            ObjectID.from_bytes(raw[:16]),
+            int.from_bytes(raw[16:22], "big"),
+            _MODES_REV[mode_code],
+        )
+
+    def __repr__(self) -> str:
+        return f"GlobalRef({self.oid.short()}+{self.offset:#x}, {self.mode})"

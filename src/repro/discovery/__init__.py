@@ -1,0 +1,54 @@
+"""Object discovery: how the network learns where objects live (§4).
+
+Two schemes — decentralized E2E (ARP-like destination caches filled by
+broadcast) and SDN-controller-installed identity routes — plus the
+workload drivers that regenerate Figures 2 and 3.
+"""
+
+from .base import (
+    ACCESS_BYTES,
+    KIND_ACCESS_NACK,
+    KIND_ACCESS_REQ,
+    KIND_ACCESS_RSP,
+    KIND_ADVERTISE,
+    KIND_FIND,
+    KIND_FOUND,
+    AccessRecord,
+    DiscoveryError,
+    ObjectHome,
+    move_object,
+)
+from .controller import IdentityAccessor, SdnController, advertise
+from .e2e import E2EResolver
+from .hybrid import HybridAccessor
+from .workload import (
+    SCHEME_CONTROLLER,
+    SCHEME_E2E,
+    SweepPoint,
+    run_fig2_point,
+    run_fig3_point,
+)
+
+__all__ = [
+    "ObjectHome",
+    "AccessRecord",
+    "DiscoveryError",
+    "move_object",
+    "E2EResolver",
+    "HybridAccessor",
+    "SdnController",
+    "IdentityAccessor",
+    "advertise",
+    "SweepPoint",
+    "run_fig2_point",
+    "run_fig3_point",
+    "SCHEME_E2E",
+    "SCHEME_CONTROLLER",
+    "ACCESS_BYTES",
+    "KIND_FIND",
+    "KIND_FOUND",
+    "KIND_ACCESS_REQ",
+    "KIND_ACCESS_RSP",
+    "KIND_ACCESS_NACK",
+    "KIND_ADVERTISE",
+]

@@ -1,0 +1,158 @@
+"""The controller-based discovery scheme.
+
+§4: "in the controller scheme, hosts notify controllers about objects,
+which are then responsible for updating forwarding tables of switches...
+the controller scheme has uniform latency of 1 RTT (and is unicast)."
+
+Three pieces:
+
+* :class:`SdnController` — logic attached to the controller host; on an
+  ``ctl.advertise`` it computes, for every switch, the shortest-path
+  egress port toward the owner and installs an exact-match identity
+  route (respecting switch table capacity — installs can fail when the
+  table fills, the E12 scaling wall).
+* :class:`AdvertisingHome` helper — owner-side: advertise on creation
+  and on movement.
+* :class:`IdentityAccessor` — requester-side: accesses are a single
+  identity-routed request (no host address; switches forward on the
+  object ID) answered by a unicast reply: uniform 1 RTT, zero broadcast.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from ..core.objectid import ObjectID
+from ..sim import AnyOf, Future, Simulator, Timeout, Tracer
+from ..net.host import Host
+from ..net.packet import Packet
+from ..net.topology import Network
+from .base import (
+    ACCESS_BYTES,
+    KIND_ACCESS_NACK,
+    KIND_ACCESS_REQ,
+    KIND_ACCESS_RSP,
+    KIND_ADVERTISE,
+    AccessRecord,
+    DiscoveryError,
+)
+
+__all__ = ["SdnController", "IdentityAccessor", "advertise"]
+
+_req_ids = itertools.count(1)
+
+
+class SdnController:
+    """Controller logic: advertisement ingress + switch table updates.
+
+    ``install_delay_us`` models the control-channel and table-write time
+    per switch; installs across switches proceed in parallel.  The
+    controller is attached to a real host, so advertisements themselves
+    traverse the data network (they are control traffic, off the access
+    path — Figure 2 measures access RTT, not advertisement cost).
+    """
+
+    def __init__(self, network: Network, host: Host,
+                 install_delay_us: float = 20.0,
+                 tracer: Optional[Tracer] = None):
+        if install_delay_us < 0:
+            raise DiscoveryError("install delay must be non-negative")
+        self.network = network
+        self.host = host
+        self.sim: Simulator = host.sim
+        self.install_delay_us = install_delay_us
+        self.tracer = tracer or Tracer()
+        self.owner_of: Dict[ObjectID, str] = {}
+        self.install_failures = 0
+        host.on(KIND_ADVERTISE, self._on_advertise)
+
+    def _on_advertise(self, packet: Packet) -> None:
+        oid = packet.oid
+        assert oid is not None
+        owner = packet.payload["owner"]
+        self.tracer.count("controller.advertised")
+        self.owner_of[oid] = owner
+        self.sim.schedule(self.install_delay_us, self._install_routes, oid, owner)
+
+    def _install_routes(self, oid: ObjectID, owner: str) -> None:
+        """Point every switch's identity table at ``owner`` for ``oid``."""
+        if self.owner_of.get(oid) != owner:
+            return  # a newer advertisement superseded this one
+        for switch in self.network.switches:
+            port = self.network.port_toward(switch.name, owner)
+            if not switch.install_identity_route(oid, port):
+                self.install_failures += 1
+                self.tracer.count("controller.install_failed")
+
+    @property
+    def objects_tracked(self) -> int:
+        """Number of objects the controller knows about."""
+        return len(self.owner_of)
+
+
+def advertise(host: Host, oid: ObjectID, controller_host: str = "controller") -> None:
+    """Owner-side: tell the controller this host holds ``oid``.
+
+    Called at object creation and again after movement (the §4 model:
+    "hosts notify controllers about objects").
+    """
+    host.send(Packet(
+        kind=KIND_ADVERTISE, src=host.name, dst=controller_host, oid=oid,
+        payload={"owner": host.name}, payload_bytes=24,
+    ))
+
+
+class IdentityAccessor:
+    """Requester-side accessor that routes on object identity.
+
+    No destination cache, no discovery step: the switches *are* the
+    location service.  Every access is one identity-routed request and
+    one unicast reply.
+    """
+
+    def __init__(self, host: Host, timeout_us: float = 50_000.0,
+                 max_retries: int = 3, tracer: Optional[Tracer] = None):
+        if timeout_us <= 0:
+            raise DiscoveryError("timeout must be positive")
+        self.host = host
+        self.sim: Simulator = host.sim
+        self.timeout_us = timeout_us
+        self.max_retries = max_retries
+        self.tracer = tracer or Tracer()
+        self._pending: Dict[int, Future] = {}
+        host.on(KIND_ACCESS_RSP, self._on_rsp)
+        host.on(KIND_ACCESS_NACK, self._on_rsp)
+
+    def _on_rsp(self, packet: Packet) -> None:
+        future = self._pending.pop(packet.payload["req_id"], None)
+        if future is not None and not future.done:
+            future.set_result(packet)
+
+    def access(self, oid: ObjectID, offset: int = 0, length: int = ACCESS_BYTES):
+        """Process: read one cache line of ``oid``; returns AccessRecord."""
+        record = AccessRecord(oid=oid, start_us=self.sim.now)
+        for _ in range(self.max_retries):
+            req_id = next(_req_ids)
+            future = Future(self.sim, name=f"idacc-{req_id}")
+            self._pending[req_id] = future
+            self.host.send(Packet(
+                kind=KIND_ACCESS_REQ, src=self.host.name, dst=None, oid=oid,
+                payload={"req_id": req_id, "offset": offset, "length": length},
+                payload_bytes=24,
+            ))
+            record.round_trips += 1
+            index, reply = yield AnyOf([future, Timeout(self.timeout_us)])
+            if index == 1:
+                self.tracer.count("identity.timeout")
+                self._pending.pop(req_id, None)
+                continue
+            if reply.kind == KIND_ACCESS_RSP:
+                record.ok = True
+                break
+            # NACK: routes are mid-update after a movement; retry.
+            self.tracer.count("identity.nack")
+        record.end_us = self.sim.now
+        self.tracer.sample("identity.access_us", record.latency_us, self.sim.now)
+        self.tracer.count("identity.access_ok" if record.ok else "identity.access_failed")
+        return record

@@ -1,0 +1,177 @@
+"""The end-to-end (E2E) discovery scheme.
+
+§4: "In E2E, hosts store a destination cache, recording a map of object
+IDs and hosts that it must use broadcast to discover on first access...
+The E2E scheme is potentially more scalable, but has worst-case latency
+of 2 round-trip times (RTTs) if the cache grows stale (as this triggers
+a broadcast discovery packet followed by the unicast access packet)."
+
+Protocol, as reproduced (interpretation documented in EXPERIMENTS.md):
+
+* **cache hit** — unicast access to the cached holder: 1 RTT;
+* **first access (new object)** — broadcast ``find`` answered by the
+  holder (1 RTT), then the unicast access (1 RTT): 2 RTTs total and one
+  broadcast on the wire (Figure 2's rising E2E line);
+* **stale entry (object moved)** — the unicast access bounces with a
+  NACK, and the requester re-discovers with a *combined* find+access
+  broadcast whose reply carries the data: 2 RTTs total, matching
+  Figure 3's 1 -> 2 RTT climb;
+* **forwarding variant** (``use_forwarding_hints``) — the old holder
+  forwards the access to where it sent the object instead of NACKing,
+  the §4 closing "network can absorb some of the cost" ablation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from ..core.objectid import ObjectID
+from ..sim import AnyOf, Future, Simulator, Timeout, Tracer
+from ..net.host import Host
+from ..net.packet import BROADCAST, Packet
+from .base import (
+    ACCESS_BYTES,
+    KIND_ACCESS_NACK,
+    KIND_ACCESS_REQ,
+    KIND_ACCESS_RSP,
+    KIND_FIND,
+    KIND_FOUND,
+    AccessRecord,
+    DiscoveryError,
+)
+
+__all__ = ["E2EResolver"]
+
+_req_ids = itertools.count(1)
+_find_ids = itertools.count(1)
+
+
+class E2EResolver:
+    """Requester-side E2E discovery: destination cache + broadcast find."""
+
+    def __init__(self, host: Host, timeout_us: float = 50_000.0,
+                 max_retries: int = 3, tracer: Optional[Tracer] = None):
+        if timeout_us <= 0:
+            raise DiscoveryError("timeout must be positive")
+        self.host = host
+        self.sim: Simulator = host.sim
+        self.timeout_us = timeout_us
+        self.max_retries = max_retries
+        self.tracer = tracer or Tracer()
+        self.cache: Dict[ObjectID, str] = {}
+        self._pending: Dict[int, Future] = {}
+        host.on(KIND_FOUND, self._on_found)
+        host.on(KIND_ACCESS_RSP, self._on_access_rsp)
+        host.on(KIND_ACCESS_NACK, self._on_access_nack)
+
+    # -- ingress ------------------------------------------------------------
+    def _complete(self, key: int, value) -> None:
+        future = self._pending.pop(key, None)
+        if future is not None and not future.done:
+            future.set_result(value)
+
+    def _on_found(self, packet: Packet) -> None:
+        self._complete(("find", packet.payload["find_id"]), packet)
+
+    def _on_access_rsp(self, packet: Packet) -> None:
+        self._complete(("req", packet.payload["req_id"]), packet)
+
+    def _on_access_nack(self, packet: Packet) -> None:
+        self._complete(("req", packet.payload["req_id"]), packet)
+
+    # -- exchange helper ---------------------------------------------------
+    def _exchange(self, key, send_fn):
+        """Process: send via ``send_fn`` and await the keyed reply,
+        retrying up to ``max_retries`` times on timeout.  Returns the
+        reply packet or None if every attempt timed out."""
+        for _ in range(self.max_retries):
+            future = Future(self.sim, name=str(key))
+            self._pending[key] = future
+            send_fn()
+            index, value = yield AnyOf([future, Timeout(self.timeout_us)])
+            if index == 0:
+                return value
+            self.tracer.count("e2e.timeout")
+            self._pending.pop(key, None)
+        return None
+
+    # -- the access operation ------------------------------------------------
+    def access(self, oid: ObjectID, offset: int = 0, length: int = ACCESS_BYTES):
+        """Process: read one cache line of ``oid``; returns AccessRecord."""
+        record = AccessRecord(oid=oid, start_us=self.sim.now)
+        cached_holder = self.cache.get(oid)
+        if cached_holder is None:
+            record.was_new = True
+            ok = yield from self._discover_then_access(oid, offset, length, record)
+        else:
+            ok = yield from self._access_via(cached_holder, oid, offset, length, record)
+        record.ok = ok
+        record.end_us = self.sim.now
+        self.tracer.sample("e2e.access_us", record.latency_us, self.sim.now)
+        self.tracer.count("e2e.access_ok" if ok else "e2e.access_failed")
+        return record
+
+    def _access_via(self, holder: str, oid: ObjectID, offset: int, length: int,
+                    record: AccessRecord):
+        """Unicast access to a (possibly stale) holder."""
+        req_id = next(_req_ids)
+
+        def send():
+            self.host.send(Packet(
+                kind=KIND_ACCESS_REQ, src=self.host.name, dst=holder, oid=oid,
+                payload={"req_id": req_id, "offset": offset, "length": length},
+                payload_bytes=24,
+            ))
+
+        reply = yield from self._exchange(("req", req_id), send)
+        record.round_trips += 1
+        if reply is None:
+            return False
+        if reply.kind == KIND_ACCESS_RSP:
+            self.cache[oid] = reply.payload["holder"]
+            return True
+        # NACK: our cache was stale.  Re-discover with data piggybacked.
+        record.was_stale = True
+        self.tracer.count("e2e.stale")
+        self.cache.pop(oid, None)
+        hint = reply.payload.get("hint")
+        if hint:
+            # NACK carried a forwarding hint: retry unicast, no broadcast.
+            return (yield from self._access_via(hint, oid, offset, length, record))
+        return (yield from self._find(oid, offset, length, record, include_data=True))
+
+    def _discover_then_access(self, oid: ObjectID, offset: int, length: int,
+                              record: AccessRecord):
+        """First access: plain discovery broadcast, then unicast access."""
+        found = yield from self._find(oid, offset, length, record, include_data=False)
+        if not found:
+            return False
+        return (yield from self._access_via(self.cache[oid], oid, offset, length, record))
+
+    def _find(self, oid: ObjectID, offset: int, length: int,
+              record: AccessRecord, include_data: bool):
+        """Broadcast a find; on ``include_data`` the reply doubles as the
+        access response (the stale-retry fast path)."""
+        find_id = next(_find_ids)
+
+        def send():
+            record.broadcasts += 1
+            self.tracer.count("e2e.broadcast")
+            self.host.send(Packet(
+                kind=KIND_FIND, src=self.host.name, dst=BROADCAST, oid=oid,
+                payload={
+                    "find_id": find_id,
+                    "include_data": include_data,
+                    "offset": offset,
+                    "length": length,
+                },
+                payload_bytes=24,
+            ))
+
+        reply = yield from self._exchange(("find", find_id), send)
+        record.round_trips += 1
+        if reply is None:
+            return False
+        self.cache[oid] = reply.payload["holder"]
+        return True

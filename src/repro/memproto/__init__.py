@@ -1,0 +1,52 @@
+"""Memory protocol: the bus-like message vocabulary, reliable transports,
+and directory MSI coherence (Shared acquisitions downgrade an exclusive
+owner M->S with writeback; Modified acquisitions invalidate)."""
+
+from .coherence import PERM_MODIFIED, PERM_SHARED, CoherenceAgent, CoherenceError
+from .messages import (
+    CACHE_LINE_BYTES,
+    MSG_ACQUIRE,
+    MSG_GRANT,
+    MSG_PROBE_ACK,
+    MSG_PROBE_INVALIDATE,
+    MSG_READ_REQ,
+    MSG_READ_RSP,
+    MSG_RELEASE,
+    MSG_RELEASE_ACK,
+    MSG_UPGRADE_ACK,
+    MSG_UPGRADE_REQ,
+    MSG_WRITE_ACK,
+    MSG_WRITE_REQ,
+    read_request,
+    read_response,
+    write_ack,
+    write_request,
+)
+from .transport import LightweightTransport, TcpLikeTransport, TransportError
+
+__all__ = [
+    "CACHE_LINE_BYTES",
+    "MSG_READ_REQ",
+    "MSG_READ_RSP",
+    "MSG_WRITE_REQ",
+    "MSG_WRITE_ACK",
+    "MSG_ACQUIRE",
+    "MSG_GRANT",
+    "MSG_PROBE_INVALIDATE",
+    "MSG_PROBE_ACK",
+    "MSG_RELEASE",
+    "MSG_RELEASE_ACK",
+    "MSG_UPGRADE_REQ",
+    "MSG_UPGRADE_ACK",
+    "read_request",
+    "read_response",
+    "write_request",
+    "write_ack",
+    "LightweightTransport",
+    "TcpLikeTransport",
+    "TransportError",
+    "CoherenceAgent",
+    "CoherenceError",
+    "PERM_SHARED",
+    "PERM_MODIFIED",
+]

@@ -1,0 +1,421 @@
+"""Directory-based MSI coherence over objects.
+
+§3.2 notes that cache coherence "requires additional message types, e.g.,
+to ensure exclusive access to data, upgrade access type, invalidate
+data" and points at TileLink as a minimal modern example.  This module
+implements that vocabulary as a directory (home-node) MSI protocol at
+object granularity:
+
+* every object has a **home** host holding the directory entry and the
+  authoritative copy;
+* any host may **acquire** a Shared (read) or Modified (write) copy;
+* the home serializes conflicting acquisitions per object, probing and
+  invalidating remote copies as needed, collecting dirty data on the way.
+
+The protocol rides on raw host-addressed packets (it provides its own
+request/ack matching), so it can be layered over either transport.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Any, Dict, Optional, Set, Tuple
+
+from ..core.objectid import ObjectID
+from ..sim import Future, Simulator, Tracer
+from ..net.host import Host
+from ..net.packet import Packet
+from .messages import (
+    MSG_ACQUIRE,
+    MSG_GRANT,
+    MSG_PROBE_ACK,
+    MSG_PROBE_INVALIDATE,
+    MSG_RELEASE,
+    MSG_RELEASE_ACK,
+)
+
+__all__ = ["CoherenceAgent", "CoherenceError", "PERM_SHARED", "PERM_MODIFIED"]
+
+PERM_SHARED = "S"
+PERM_MODIFIED = "M"
+
+_req_ids = itertools.count(1)
+
+
+class CoherenceError(Exception):
+    """Protocol violations: releasing an uncached object, bad perms..."""
+
+
+class _CacheEntry:
+    """One locally cached object copy."""
+
+    __slots__ = ("data", "perm", "dirty")
+
+    def __init__(self, data: bytearray, perm: str):
+        self.data = data
+        self.perm = perm
+        self.dirty = False
+
+
+class _DirectoryEntry:
+    """Home-side record: authoritative data + current copy holders."""
+
+    __slots__ = ("data", "sharers", "owner", "busy", "pending")
+
+    def __init__(self, data: bytearray):
+        self.data = data
+        self.sharers: Set[str] = set()
+        self.owner: Optional[str] = None  # holder of the Modified copy
+        self.busy = False                 # a transaction is in flight
+        self.pending: deque = deque()     # queued (packet) acquisitions
+
+
+class CoherenceAgent:
+    """One host's coherence participant: cache + (for home objects) directory.
+
+    Usage from a simulated process::
+
+        data = yield agent.read(oid, offset, length)
+        yield agent.write(oid, offset, payload)
+
+    Reads acquire Shared permission; writes acquire Modified permission,
+    invalidating every other copy first.  Repeated accesses hit the local
+    cache with no network traffic — the hit/miss counters are what the
+    coherence benchmarks read.
+    """
+
+    def __init__(self, host: Host, home_map: Dict[ObjectID, str],
+                 tracer: Optional[Tracer] = None):
+        self.host = host
+        self.sim: Simulator = host.sim
+        self.home_map = home_map
+        self.tracer = tracer or Tracer()
+        self._cache: Dict[ObjectID, _CacheEntry] = {}
+        self._directory: Dict[ObjectID, _DirectoryEntry] = {}
+        self._pending: Dict[int, Future] = {}
+        host.on(MSG_ACQUIRE, self._on_acquire)
+        host.on(MSG_GRANT, self._on_grant)
+        host.on(MSG_PROBE_INVALIDATE, self._on_probe)
+        host.on(MSG_PROBE_ACK, self._on_probe_ack)
+        host.on(MSG_RELEASE, self._on_release)
+        host.on(MSG_RELEASE_ACK, self._on_release_ack)
+        # Home-side per-transaction scratch: req key -> collection state.
+        self._collect: Dict[Tuple[str, int], Dict[str, Any]] = {}
+
+    # -- object registration --------------------------------------------------
+    def host_object(self, oid: ObjectID, data: bytes) -> None:
+        """Declare this host the home of ``oid`` with initial ``data``."""
+        if oid in self._directory:
+            raise CoherenceError(f"{self.host.name} already home of {oid.short()}")
+        self._directory[oid] = _DirectoryEntry(bytearray(data))
+        self.home_map[oid] = self.host.name
+
+    def _home_of(self, oid: ObjectID) -> str:
+        home = self.home_map.get(oid)
+        if home is None:
+            raise CoherenceError(f"no home known for object {oid.short()}")
+        return home
+
+    # -- public operations (generator processes) -------------------------------
+    def read(self, oid: ObjectID, offset: int, length: int):
+        """Process: acquire Shared (if needed) and return the bytes."""
+        entry = self._cache.get(oid)
+        if entry is None and self._home_of(oid) == self.host.name:
+            directory = self._directory[oid]
+            if directory.owner is not None:
+                # A remote Modified copy exists: recall it before reading.
+                yield from self._home_local_barrier(oid, PERM_SHARED)
+            self.tracer.count("coherence.home_hit")
+            return bytes(directory.data[offset : offset + length])
+        if entry is not None:
+            self.tracer.count("coherence.cache_hit")
+            return bytes(entry.data[offset : offset + length])
+        self.tracer.count("coherence.read_miss")
+        entry = yield from self._acquire(oid, PERM_SHARED)
+        return bytes(entry.data[offset : offset + length])
+
+    def write(self, oid: ObjectID, offset: int, data: bytes):
+        """Process: acquire Modified (if needed) and apply the store."""
+        home = self._home_of(oid)
+        entry = self._cache.get(oid)
+        if entry is not None and entry.perm == PERM_MODIFIED:
+            self.tracer.count("coherence.cache_hit")
+        elif entry is not None and entry.perm == PERM_SHARED and home != self.host.name:
+            # §3.2's "upgrade access type": S -> M without re-shipping
+            # the data we already hold (unless a concurrent writer
+            # invalidated us while the upgrade was in flight).
+            self.tracer.count("coherence.upgrade")
+            entry = yield from self._upgrade(oid)
+        elif home == self.host.name:
+            # Home writes still invalidate remote copies first.
+            yield from self._home_local_barrier(oid, PERM_MODIFIED)
+            directory = self._directory[oid]
+            directory.data[offset : offset + len(data)] = data
+            self.tracer.count("coherence.home_write")
+            return
+        else:
+            self.tracer.count("coherence.write_miss")
+            entry = yield from self._acquire(oid, PERM_MODIFIED)
+        entry.data[offset : offset + len(data)] = data
+        entry.dirty = True
+
+    def writeback(self, oid: ObjectID):
+        """Process: release a Modified copy back to the home (voluntary)."""
+        entry = self._cache.get(oid)
+        if entry is None:
+            raise CoherenceError(f"{self.host.name} has no cached copy of {oid.short()}")
+        req_id = next(_req_ids)
+        future = Future(self.sim, name=f"release-{req_id}")
+        self._pending[req_id] = future
+        payload: Dict[str, Any] = {"req_id": req_id, "perm": entry.perm}
+        payload_bytes = 16
+        if entry.dirty:
+            payload["data"] = bytes(entry.data)
+            payload_bytes += len(entry.data)
+        self.host.send(Packet(
+            kind=MSG_RELEASE, src=self.host.name, dst=self._home_of(oid),
+            oid=oid, payload=payload, payload_bytes=payload_bytes,
+        ))
+        del self._cache[oid]
+        yield future
+
+    def cached_perm(self, oid: ObjectID) -> Optional[str]:
+        """The local cache permission for ``oid`` (S/M/None)."""
+        entry = self._cache.get(oid)
+        return entry.perm if entry else None
+
+    def authoritative_data(self, oid: ObjectID) -> bytes:
+        """Home-side accessor for tests/benchmarks."""
+        directory = self._directory.get(oid)
+        if directory is None:
+            raise CoherenceError(f"{self.host.name} is not home of {oid.short()}")
+        return bytes(directory.data)
+
+    # -- requester side -----------------------------------------------------
+    def _acquire(self, oid: ObjectID, perm: str):
+        req_id = next(_req_ids)
+        future = Future(self.sim, name=f"acquire-{req_id}")
+        self._pending[req_id] = future
+        self.host.send(Packet(
+            kind=MSG_ACQUIRE, src=self.host.name, dst=self._home_of(oid),
+            oid=oid, payload={"req_id": req_id, "perm": perm}, payload_bytes=16,
+        ))
+        granted = yield future
+        entry = _CacheEntry(bytearray(granted["data"]), perm)
+        self._cache[oid] = entry
+        return entry
+
+    def _upgrade(self, oid: ObjectID):
+        """Process: request S -> M; the grant carries data only if our
+        shared copy was invalidated while the request was in flight."""
+        req_id = next(_req_ids)
+        future = Future(self.sim, name=f"upgrade-{req_id}")
+        self._pending[req_id] = future
+        self.host.send(Packet(
+            kind=MSG_ACQUIRE, src=self.host.name, dst=self._home_of(oid),
+            oid=oid,
+            payload={"req_id": req_id, "perm": PERM_MODIFIED, "upgrade": True},
+            payload_bytes=16,
+        ))
+        granted = yield future
+        entry = self._cache.get(oid)
+        if granted.get("data") is not None or entry is None:
+            # We lost the copy mid-flight: the home shipped fresh data.
+            entry = _CacheEntry(bytearray(granted["data"]), PERM_MODIFIED)
+            self._cache[oid] = entry
+        else:
+            entry.perm = PERM_MODIFIED
+        return entry
+
+    def _home_local_barrier(self, oid: ObjectID, perm: str):
+        """Recall/invalidate remote copies before a home-side access.
+
+        Implemented by acquiring through our own directory via the same
+        queued path remote requesters use, which keeps the serialization
+        discipline in one place.  ``perm=S`` recalls an exclusive owner;
+        ``perm=M`` also invalidates every sharer.
+        """
+        directory = self._directory[oid]
+        if not directory.sharers and directory.owner is None:
+            return
+        req_id = next(_req_ids)
+        future = Future(self.sim, name=f"homebarrier-{req_id}")
+        self._pending[req_id] = future
+        # Loop the request through our own handler as a local packet.
+        packet = Packet(
+            kind=MSG_ACQUIRE, src=self.host.name, dst=self.host.name,
+            oid=oid, payload={"req_id": req_id, "perm": perm,
+                              "home_local": True},
+            payload_bytes=0,
+        )
+        self._on_acquire(packet)
+        yield future
+        # The grant for a home-local barrier carries no data we need.
+        self._cache.pop(oid, None)
+
+    def _on_grant(self, packet: Packet) -> None:
+        future = self._pending.pop(packet.payload["req_id"], None)
+        if future is None:
+            self.tracer.count("coherence.orphan_grant")
+            return
+        future.set_result(packet.payload)
+
+    def _on_release_ack(self, packet: Packet) -> None:
+        future = self._pending.pop(packet.payload["req_id"], None)
+        if future is not None:
+            future.set_result(None)
+
+    # -- home / directory side ------------------------------------------------
+    def _on_acquire(self, packet: Packet) -> None:
+        oid = packet.oid
+        assert oid is not None
+        directory = self._directory.get(oid)
+        if directory is None:
+            self.tracer.count("coherence.bad_home")
+            return
+        if directory.busy:
+            directory.pending.append(packet)
+            return
+        directory.busy = True
+        self._start_transaction(oid, directory, packet)
+
+    def _start_transaction(self, oid: ObjectID, directory: _DirectoryEntry,
+                           packet: Packet) -> None:
+        requester = packet.src
+        perm = packet.payload["perm"]
+        # Who must be probed before this grant is legal?
+        to_probe: Set[str] = set()
+        if perm == PERM_MODIFIED:
+            to_probe |= {s for s in directory.sharers if s != requester}
+            if directory.owner and directory.owner != requester:
+                to_probe.add(directory.owner)
+        else:  # Shared: only an exclusive owner conflicts
+            if directory.owner and directory.owner != requester:
+                to_probe.add(directory.owner)
+        if not to_probe:
+            self._grant(oid, directory, packet)
+            return
+        # A Shared acquisition only needs the exclusive owner *downgraded*
+        # to Shared (with writeback); Modified needs everyone at Invalid.
+        downgrade_to = PERM_SHARED if perm == PERM_SHARED else "I"
+        key = (requester, packet.payload["req_id"])
+        self._collect[key] = {"packet": packet, "waiting": set(to_probe),
+                              "downgrade_to": downgrade_to}
+        for target in to_probe:
+            self.tracer.count("coherence.probe")
+            self.host.send(Packet(
+                kind=MSG_PROBE_INVALIDATE, src=self.host.name, dst=target,
+                oid=oid,
+                payload={"req_key": list(key), "downgrade_to": downgrade_to},
+                payload_bytes=16,
+            ))
+
+    def _on_probe(self, packet: Packet) -> None:
+        oid = packet.oid
+        assert oid is not None
+        downgrade_to = packet.payload.get("downgrade_to", "I")
+        entry = self._cache.get(oid)
+        payload: Dict[str, Any] = {"req_key": packet.payload["req_key"]}
+        payload_bytes = 16
+        if entry is not None and entry.dirty:
+            payload["data"] = bytes(entry.data)
+            payload_bytes += len(entry.data)
+        if downgrade_to == PERM_SHARED and entry is not None:
+            # M -> S: keep the (now clean) copy for future local reads.
+            entry.perm = PERM_SHARED
+            entry.dirty = False
+            payload["kept_shared"] = True
+            self.tracer.count("coherence.downgraded")
+        else:
+            self._cache.pop(oid, None)
+            self.tracer.count("coherence.invalidated")
+        self.host.send(Packet(
+            kind=MSG_PROBE_ACK, src=self.host.name, dst=packet.src,
+            oid=oid, payload=payload, payload_bytes=payload_bytes,
+        ))
+
+    def _on_probe_ack(self, packet: Packet) -> None:
+        oid = packet.oid
+        assert oid is not None
+        key = tuple(packet.payload["req_key"])
+        state = self._collect.get(key)
+        if state is None:
+            self.tracer.count("coherence.orphan_probe_ack")
+            return
+        directory = self._directory[oid]
+        if "data" in packet.payload:  # dirty writeback piggybacked on the ack
+            directory.data[:] = packet.payload["data"]
+        if packet.payload.get("kept_shared"):
+            # The owner downgraded M -> S: it stays a sharer.
+            directory.sharers.add(packet.src)
+        else:
+            directory.sharers.discard(packet.src)
+        if directory.owner == packet.src:
+            directory.owner = None
+        state["waiting"].discard(packet.src)
+        if not state["waiting"]:
+            del self._collect[key]
+            self._grant(oid, directory, state["packet"])
+
+    def _grant(self, oid: ObjectID, directory: _DirectoryEntry,
+               packet: Packet) -> None:
+        requester = packet.src
+        perm = packet.payload["perm"]
+        # An upgrade grant omits the data while the requester still holds
+        # a valid shared copy; if an earlier transaction invalidated it,
+        # ship fresh data (checked before we mutate the sharer set).
+        upgrade_without_data = (packet.payload.get("upgrade")
+                                and requester in directory.sharers)
+        if perm == PERM_MODIFIED:
+            directory.sharers.discard(requester)
+            directory.owner = requester
+        else:
+            directory.sharers.add(requester)
+        self.tracer.count("coherence.grant")
+        if upgrade_without_data:
+            self.tracer.count("coherence.upgrade_ack")
+        grant_payload = {
+            "req_id": packet.payload["req_id"],
+            "perm": perm,
+            "data": None if upgrade_without_data else bytes(directory.data),
+        }
+        if packet.payload.get("home_local"):
+            # Local barrier: complete without touching the network.
+            directory.owner = None
+            directory.sharers.discard(self.host.name)
+            future = self._pending.pop(packet.payload["req_id"], None)
+            if future is not None:
+                future.set_result(grant_payload)
+            self._finish_transaction(oid, directory)
+            return
+        data_bytes = 0 if upgrade_without_data else len(directory.data)
+        self.host.send(Packet(
+            kind=MSG_GRANT, src=self.host.name, dst=requester, oid=oid,
+            payload=grant_payload, payload_bytes=16 + data_bytes,
+        ))
+        self._finish_transaction(oid, directory)
+
+    def _finish_transaction(self, oid: ObjectID, directory: _DirectoryEntry) -> None:
+        if directory.pending:
+            next_packet = directory.pending.popleft()
+            self._start_transaction(oid, directory, next_packet)
+        else:
+            directory.busy = False
+
+    def _on_release(self, packet: Packet) -> None:
+        oid = packet.oid
+        assert oid is not None
+        directory = self._directory.get(oid)
+        if directory is None:
+            self.tracer.count("coherence.bad_home")
+            return
+        if "data" in packet.payload:
+            directory.data[:] = packet.payload["data"]
+        directory.sharers.discard(packet.src)
+        if directory.owner == packet.src:
+            directory.owner = None
+        self.host.send(Packet(
+            kind=MSG_RELEASE_ACK, src=self.host.name, dst=packet.src, oid=oid,
+            payload={"req_id": packet.payload["req_id"]}, payload_bytes=16,
+        ))

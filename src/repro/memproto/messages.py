@@ -1,0 +1,111 @@
+"""The bus-like network vocabulary: memory messages over packets.
+
+§3.2: "There are a handful of message types, consisting of requests and
+replies for read or write operations, followed by an address, and an
+optional payload with data, where payload size is usually a cache line."
+Cache coherence adds exclusive-access, upgrade, and invalidate types
+(the TileLink-flavoured set).
+
+This module defines that vocabulary and the packet builders for it.  The
+address is a (object ID, offset) pair — identity, not location — so these
+packets can be identity-routed by switches or host-addressed once
+discovery has resolved a location.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.objectid import ObjectID
+from ..net.packet import Packet
+
+__all__ = [
+    "CACHE_LINE_BYTES",
+    "MSG_READ_REQ",
+    "MSG_READ_RSP",
+    "MSG_WRITE_REQ",
+    "MSG_WRITE_ACK",
+    "MSG_ACQUIRE",
+    "MSG_GRANT",
+    "MSG_RELEASE",
+    "MSG_RELEASE_ACK",
+    "MSG_PROBE_INVALIDATE",
+    "MSG_PROBE_ACK",
+    "MSG_UPGRADE_REQ",
+    "MSG_UPGRADE_ACK",
+    "read_request",
+    "read_response",
+    "write_request",
+    "write_ack",
+]
+
+CACHE_LINE_BYTES = 64
+
+# Uncached load/store vocabulary (TileLink-UL flavoured).
+MSG_READ_REQ = "mem.read_req"
+MSG_READ_RSP = "mem.read_rsp"
+MSG_WRITE_REQ = "mem.write_req"
+MSG_WRITE_ACK = "mem.write_ack"
+
+# Coherence vocabulary (TileLink-C flavoured).
+MSG_ACQUIRE = "coh.acquire"            # request a cached copy (shared or exclusive)
+MSG_GRANT = "coh.grant"                # home grants the copy (+data)
+MSG_RELEASE = "coh.release"            # writeback / downgrade, possibly with data
+MSG_RELEASE_ACK = "coh.release_ack"
+MSG_PROBE_INVALIDATE = "coh.probe_inv" # home tells a sharer to drop its copy
+MSG_PROBE_ACK = "coh.probe_ack"
+MSG_UPGRADE_REQ = "coh.upgrade_req"    # S -> M without data movement
+MSG_UPGRADE_ACK = "coh.upgrade_ack"
+
+# Modelled payload byte counts for the non-data fields of each message.
+_ADDR_BYTES = 8  # 48-bit offset + op metadata; the 16B oid rides the oid field
+_REQID_BYTES = 8
+
+
+def read_request(src: str, oid: ObjectID, offset: int, length: int,
+                 req_id: int, dst: Optional[str] = None) -> Packet:
+    """Load ``length`` bytes at (oid, offset).  ``dst=None`` makes it
+    identity-routed; a host name sends it point-to-point."""
+    return Packet(
+        kind=MSG_READ_REQ,
+        src=src,
+        dst=dst,
+        oid=oid,
+        payload={"offset": offset, "length": length, "req_id": req_id},
+        payload_bytes=_ADDR_BYTES + _REQID_BYTES,
+    )
+
+
+def read_response(request: Packet, data: bytes, responder: str) -> Packet:
+    """Reply carrying the loaded bytes back to the requester."""
+    return Packet(
+        kind=MSG_READ_RSP,
+        src=responder,
+        dst=request.src,
+        payload={"req_id": request.payload["req_id"], "data": data},
+        payload_bytes=_REQID_BYTES + len(data),
+    )
+
+
+def write_request(src: str, oid: ObjectID, offset: int, data: bytes,
+                  req_id: int, dst: Optional[str] = None) -> Packet:
+    """Store ``data`` at (oid, offset)."""
+    return Packet(
+        kind=MSG_WRITE_REQ,
+        src=src,
+        dst=dst,
+        oid=oid,
+        payload={"offset": offset, "data": data, "req_id": req_id},
+        payload_bytes=_ADDR_BYTES + _REQID_BYTES + len(data),
+    )
+
+
+def write_ack(request: Packet, responder: str) -> Packet:
+    """Build the acknowledgement for a write request."""
+    return Packet(
+        kind=MSG_WRITE_ACK,
+        src=responder,
+        dst=request.src,
+        payload={"req_id": request.payload["req_id"]},
+        payload_bytes=_REQID_BYTES,
+    )

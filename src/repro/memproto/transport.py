@@ -1,0 +1,314 @@
+"""Reliable transports for memory messages.
+
+§3.2 argues that Ethernet alone lacks reliability while TCP drags along
+machinery (slow start, connection setup) that memory traffic does not
+want: "there will need to be a new, light-weight form of reliable
+transmission, separated from the other features provided by TCP."
+
+Two transports implement the comparison for experiment E9:
+
+* :class:`LightweightTransport` — the paper's proposal: per-peer
+  sequence numbers, a fixed send window, per-packet retransmit timers,
+  receiver-side duplicate suppression.  No handshake, no slow start.
+* :class:`TcpLikeTransport` — the incumbent baseline: a 1-RTT handshake
+  per peer, slow-start congestion window growth from 1 segment, and
+  timeout-triggered window collapse (Tahoe-style).
+
+Both deliver each message exactly once, in order, to the registered
+upper-layer handler, and both record per-message delivery latency.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Optional, Tuple
+
+from ..sim import ScheduledEvent, Simulator, Tracer
+from ..net.host import Host
+from ..net.packet import Packet
+
+__all__ = ["LightweightTransport", "TcpLikeTransport", "TransportError"]
+
+DeliveryHandler = Callable[[str, Dict[str, Any], int], None]
+# handler(src_host, payload, payload_bytes)
+
+_DATA_HEADER_BYTES = 12  # seq + flags
+_ACK_BYTES = 12
+
+
+class TransportError(Exception):
+    """Raised on transport misuse (unknown peer state, bad handler)."""
+
+
+class _PeerTx:
+    """Per-destination sender state shared by both transports."""
+
+    def __init__(self) -> None:
+        self.next_seq = 0
+        self.inflight: Dict[int, Tuple[Packet, ScheduledEvent]] = {}
+        self.backlog: Deque[Packet] = deque()
+        self.send_times: Dict[int, float] = {}
+
+
+class _PeerRx:
+    """Per-source receiver state: exactly-once, in-order delivery."""
+
+    def __init__(self) -> None:
+        self.expected_seq = 0
+        self.out_of_order: Dict[int, Packet] = {}
+
+
+class _TransportBase:
+    """Common machinery: framing, acks, retransmission, reordering."""
+
+    def __init__(
+        self,
+        host: Host,
+        rto_us: float = 200.0,
+        data_kind: str = "rt.data",
+        ack_kind: str = "rt.ack",
+        tracer: Optional[Tracer] = None,
+    ):
+        if rto_us <= 0:
+            raise TransportError("retransmission timeout must be positive")
+        self.host = host
+        self.sim: Simulator = host.sim
+        self.rto_us = rto_us
+        self.data_kind = data_kind
+        self.ack_kind = ack_kind
+        self.tracer = tracer or Tracer()
+        self._tx: Dict[str, _PeerTx] = {}
+        self._rx: Dict[str, _PeerRx] = {}
+        self._handler: Optional[DeliveryHandler] = None
+        host.on(data_kind, self._on_data)
+        host.on(ack_kind, self._on_ack)
+
+    # -- public API -----------------------------------------------------
+    def on_deliver(self, handler: DeliveryHandler) -> None:
+        """Register the upper layer receiving (src, payload, bytes)."""
+        self._handler = handler
+
+    def send(self, dst: str, payload: Dict[str, Any], payload_bytes: int) -> None:
+        """Queue one message for reliable, in-order delivery to ``dst``."""
+        tx = self._tx.setdefault(dst, _PeerTx())
+        seq = tx.next_seq
+        tx.next_seq += 1
+        packet = Packet(
+            kind=self.data_kind,
+            src=self.host.name,
+            dst=dst,
+            payload={"seq": seq, "data": payload},
+            payload_bytes=_DATA_HEADER_BYTES + payload_bytes,
+        )
+        tx.send_times[seq] = self.sim.now
+        tx.backlog.append(packet)
+        self._pump(dst, tx)
+
+    # -- window policy (subclass hooks) --------------------------------------
+    def _window(self, dst: str, tx: _PeerTx) -> int:
+        raise NotImplementedError
+
+    def _ready(self, dst: str, tx: _PeerTx) -> bool:
+        """May data flow to ``dst`` yet?  (Handshake gating.)"""
+        return True
+
+    def _on_ack_accounting(self, dst: str) -> None:
+        """Window growth hook, called once per accepted ack."""
+
+    def _on_timeout_accounting(self, dst: str) -> None:
+        """Window collapse hook, called once per retransmission timeout."""
+
+    # -- sender side --------------------------------------------------------
+    def _pump(self, dst: str, tx: _PeerTx) -> None:
+        if not self._ready(dst, tx):
+            return
+        while tx.backlog and len(tx.inflight) < self._window(dst, tx):
+            packet = tx.backlog.popleft()
+            self._transmit(dst, tx, packet)
+
+    def _transmit(self, dst: str, tx: _PeerTx, packet: Packet) -> None:
+        seq = packet.payload["seq"]
+        timer = self.sim.schedule(self.rto_us, self._on_timeout, dst, seq)
+        tx.inflight[seq] = (packet, timer)
+        self.tracer.count("transport.tx")
+        # Each (re)transmission is a distinct wire packet: fresh UID (so
+        # switch duplicate suppression never eats a retransmission) and
+        # fresh hop/TTL budget.  Protocol-level dedupe keys on seq.
+        fresh = Packet(
+            kind=packet.kind,
+            src=packet.src,
+            dst=packet.dst,
+            payload=packet.payload,
+            payload_bytes=packet.payload_bytes,
+        )
+        self.host.send(fresh)
+
+    def _on_timeout(self, dst: str, seq: int) -> None:
+        tx = self._tx.get(dst)
+        if tx is None or seq not in tx.inflight:
+            return
+        packet, _ = tx.inflight.pop(seq)
+        self.tracer.count("transport.retransmit")
+        self._on_timeout_accounting(dst)
+        self._transmit(dst, tx, packet)
+
+    def _on_ack(self, packet: Packet) -> None:
+        dst = packet.src
+        tx = self._tx.get(dst)
+        if tx is None:
+            return
+        seq = packet.payload["seq"]
+        entry = tx.inflight.pop(seq, None)
+        if entry is None:
+            self.tracer.count("transport.dup_ack")
+            return
+        entry[1].cancel()
+        sent_at = tx.send_times.pop(seq, None)
+        if sent_at is not None:
+            self.tracer.sample("transport.delivery_us", self.sim.now - sent_at, self.sim.now)
+        self.tracer.count("transport.acked")
+        self._on_ack_accounting(dst)
+        self._pump(dst, tx)
+
+    # -- receiver side ---------------------------------------------------------
+    def _on_data(self, packet: Packet) -> None:
+        src = packet.src
+        rx = self._rx.setdefault(src, _PeerRx())
+        seq = packet.payload["seq"]
+        ack = Packet(
+            kind=self.ack_kind,
+            src=self.host.name,
+            dst=src,
+            payload={"seq": seq},
+            payload_bytes=_ACK_BYTES,
+        )
+        self.host.send(ack)
+        if seq < rx.expected_seq or seq in rx.out_of_order:
+            self.tracer.count("transport.dup_data")
+            return
+        rx.out_of_order[seq] = packet
+        while rx.expected_seq in rx.out_of_order:
+            ready = rx.out_of_order.pop(rx.expected_seq)
+            rx.expected_seq += 1
+            self.tracer.count("transport.delivered")
+            if self._handler is not None:
+                self._handler(
+                    src,
+                    ready.payload["data"],
+                    ready.payload_bytes - _DATA_HEADER_BYTES,
+                )
+
+    # -- introspection -----------------------------------------------------
+    def inflight_count(self, dst: str) -> int:
+        """Messages awaiting acknowledgement toward ``dst``."""
+        tx = self._tx.get(dst)
+        return len(tx.inflight) if tx else 0
+
+    def backlog_count(self, dst: str) -> int:
+        """Messages queued behind the window toward ``dst``."""
+        tx = self._tx.get(dst)
+        return len(tx.backlog) if tx else 0
+
+
+class LightweightTransport(_TransportBase):
+    """The paper's lightweight reliable transmission: fixed window, no
+    handshake, no congestion machinery."""
+
+    def __init__(self, host: Host, window: int = 32, rto_us: float = 200.0,
+                 tracer: Optional[Tracer] = None):
+        if window < 1:
+            raise TransportError("window must be at least 1")
+        super().__init__(host, rto_us=rto_us, data_kind="lwt.data",
+                         ack_kind="lwt.ack", tracer=tracer)
+        self.window = window
+
+    def _window(self, dst: str, tx: _PeerTx) -> int:
+        return self.window
+
+
+class TcpLikeTransport(_TransportBase):
+    """TCP-flavoured baseline: handshake + slow start + Tahoe collapse.
+
+    Deliberately simplified (no fast retransmit, fixed RTO) — the point
+    of E9 is the *structural* overheads the paper names: connection
+    setup latency and windows that start from one segment.
+    """
+
+    HANDSHAKE_SYN = "tcp.syn"
+    HANDSHAKE_SYNACK = "tcp.synack"
+
+    def __init__(self, host: Host, rto_us: float = 200.0,
+                 initial_ssthresh: int = 64, max_window: int = 256,
+                 tracer: Optional[Tracer] = None):
+        super().__init__(host, rto_us=rto_us, data_kind="tcp.data",
+                         ack_kind="tcp.ack", tracer=tracer)
+        self.initial_ssthresh = initial_ssthresh
+        self.max_window = max_window
+        self._cwnd: Dict[str, float] = {}
+        self._ssthresh: Dict[str, int] = {}
+        self._connected: Dict[str, bool] = {}
+        host.on(self.HANDSHAKE_SYN, self._on_syn)
+        host.on(self.HANDSHAKE_SYNACK, self._on_synack)
+
+    # -- handshake ---------------------------------------------------------
+    def _ready(self, dst: str, tx: _PeerTx) -> bool:
+        state = self._connected.get(dst)
+        if state is True:
+            return True
+        if state is None:
+            self._connected[dst] = False
+            self._cwnd[dst] = 1.0
+            self._ssthresh[dst] = self.initial_ssthresh
+            self.tracer.count("transport.handshake")
+            self._send_syn(dst)
+        return False
+
+    # Give up on a peer after this many unanswered SYNs (a dead peer
+    # must not keep the event heap spinning forever).
+    MAX_SYN_RETRIES = 30
+
+    def _send_syn(self, dst: str, attempt: int = 0) -> None:
+        """Transmit a SYN and keep retrying until the SYNACK arrives
+        (without this, a single lost handshake packet deadlocks the
+        connection forever under loss)."""
+        if self._connected.get(dst):
+            return
+        if attempt >= self.MAX_SYN_RETRIES:
+            self.tracer.count("transport.handshake_abandoned")
+            return
+        self.host.send(Packet(
+            kind=self.HANDSHAKE_SYN, src=self.host.name, dst=dst,
+            payload_bytes=_ACK_BYTES,
+        ))
+        self.sim.schedule(self.rto_us, self._send_syn, dst, attempt + 1)
+
+    def _on_syn(self, packet: Packet) -> None:
+        self.host.send(Packet(
+            kind=self.HANDSHAKE_SYNACK, src=self.host.name, dst=packet.src,
+            payload_bytes=_ACK_BYTES,
+        ))
+
+    def _on_synack(self, packet: Packet) -> None:
+        dst = packet.src
+        if not self._connected.get(dst):
+            self._connected[dst] = True
+            tx = self._tx.get(dst)
+            if tx is not None:
+                self._pump(dst, tx)
+
+    # -- congestion window -----------------------------------------------------
+    def _window(self, dst: str, tx: _PeerTx) -> int:
+        return max(1, int(self._cwnd.get(dst, 1.0)))
+
+    def _on_ack_accounting(self, dst: str) -> None:
+        cwnd = self._cwnd.get(dst, 1.0)
+        if cwnd < self._ssthresh.get(dst, self.initial_ssthresh):
+            cwnd += 1.0  # slow start: exponential per RTT
+        else:
+            cwnd += 1.0 / max(cwnd, 1.0)  # congestion avoidance
+        self._cwnd[dst] = min(cwnd, float(self.max_window))
+
+    def _on_timeout_accounting(self, dst: str) -> None:
+        cwnd = self._cwnd.get(dst, 1.0)
+        self._ssthresh[dst] = max(2, int(cwnd / 2))
+        self._cwnd[dst] = 1.0

@@ -1,0 +1,60 @@
+"""Simulated network substrate: packets, links, hosts, programmable
+switches with identity routing, and topology builders.
+
+This package substitutes for the paper's Mininet + P4/Tofino emulation
+environment (see DESIGN.md §2 for the substitution argument).
+"""
+
+from .host import Host, PacketHandler
+from .link import DEFAULT_BANDWIDTH_GBPS, DEFAULT_LATENCY_US, Link
+from .node import Node, NodeError
+from .overlay import (
+    KIND_TUNNEL,
+    MultiRegionNetwork,
+    OverlayGateway,
+    RegionDirectory,
+    build_multi_region,
+)
+from .packet import BROADCAST, DEFAULT_TTL, HEADER_BYTES, OID_FIELD_BYTES, Packet
+from .pipeline import MatchActionTable, SramModel, TableFullError, TOFINO_SRAM
+from .switch import MISS_DROP, MISS_FLOOD, MISS_PUNT, Switch
+from .topology import (
+    Network,
+    build_line,
+    build_paper_topology,
+    build_star,
+    build_two_tier,
+)
+
+__all__ = [
+    "Packet",
+    "BROADCAST",
+    "HEADER_BYTES",
+    "OID_FIELD_BYTES",
+    "DEFAULT_TTL",
+    "Link",
+    "DEFAULT_BANDWIDTH_GBPS",
+    "DEFAULT_LATENCY_US",
+    "Node",
+    "NodeError",
+    "Host",
+    "PacketHandler",
+    "Switch",
+    "MISS_FLOOD",
+    "MISS_DROP",
+    "MISS_PUNT",
+    "MatchActionTable",
+    "SramModel",
+    "TableFullError",
+    "TOFINO_SRAM",
+    "Network",
+    "RegionDirectory",
+    "OverlayGateway",
+    "MultiRegionNetwork",
+    "build_multi_region",
+    "KIND_TUNNEL",
+    "build_paper_topology",
+    "build_star",
+    "build_line",
+    "build_two_tier",
+]

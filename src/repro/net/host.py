@@ -1,0 +1,133 @@
+"""End hosts: NIC ingress, handler dispatch, and send helpers.
+
+A :class:`Host` is the network attachment point a protocol stack (the
+discovery schemes, the memory protocol, the RPC baseline) registers its
+handlers on.  It mirrors the Twizzler NIC driver of §4 at the level the
+experiments need: per-kind dispatch, duplicate-broadcast suppression,
+and egress via the host's uplink.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Optional
+
+from ..sim import Simulator, Store, Tracer
+from .node import Node, NodeError
+from .packet import BROADCAST, Packet
+
+__all__ = ["Host", "PacketHandler"]
+
+PacketHandler = Callable[[Packet], None]
+
+_DEDUPE_WINDOW = 4096
+
+
+class Host(Node):
+    """A host with one (or more) uplinks and a kind-dispatched ingress."""
+
+    def __init__(self, sim: Simulator, name: str, tracer: Optional[Tracer] = None):
+        super().__init__(sim, name, tracer)
+        self._handlers: Dict[str, PacketHandler] = {}
+        self._default_handler: Optional[PacketHandler] = None
+        self._seen_broadcasts: "OrderedDict[int, None]" = OrderedDict()
+        self.failed = False
+        # Promiscuous hosts (overlay gateways) also receive unicast
+        # traffic addressed to *other* hosts instead of filtering it.
+        self.promiscuous = False
+        # Packets with no registered handler land here, so tests can
+        # drain them and nothing is silently lost.
+        self.unhandled: Store = Store(sim, name=f"{name}.unhandled")
+
+    # -- failure injection -----------------------------------------------
+    def fail(self) -> None:
+        """Crash the host: it silently drops all traffic until recovery.
+
+        Partial failure is the §5 'foremost' challenge; tests inject it
+        here to exercise timeout/retry/failover paths above.
+        """
+        self.failed = True
+        self.tracer.count("host.failed")
+
+    def recover(self) -> None:
+        """Bring the host back (protocol state above survives as-is)."""
+        self.failed = False
+        self.tracer.count("host.recovered")
+
+    # -- handler registration ------------------------------------------------
+    def on(self, kind: str, handler: PacketHandler) -> None:
+        """Register the handler for packets of ``kind``; one per kind."""
+        if kind in self._handlers:
+            raise NodeError(f"{self.name}: handler for {kind!r} already registered")
+        self._handlers[kind] = handler
+
+    def replace_handler(self, kind: str, handler: PacketHandler) -> None:
+        """Overwrite the handler registered for ``kind``."""
+        self._handlers[kind] = handler
+
+    def set_default_handler(self, handler: PacketHandler) -> None:
+        """Handler for packets whose kind has no specific registration
+        (gateways forward arbitrary kinds without enumerating them)."""
+        self._default_handler = handler
+
+    # -- egress -----------------------------------------------------------
+    def send(self, packet: Packet, port: int = 0) -> None:
+        """Transmit ``packet`` out of ``port`` (hosts usually have one)."""
+        if self.failed:
+            self.tracer.count("host.dropped_while_failed")
+            return
+        if self.port_count == 0:
+            raise NodeError(f"{self.name}: not attached to any link")
+        packet.src = packet.src or self.name
+        packet.created_at = packet.created_at or self.sim.now
+        self.tracer.count("host.tx")
+        if packet.is_broadcast:
+            self.tracer.count("host.tx_broadcast")
+        self.send_on_port(port, packet)
+
+    def broadcast(self, kind: str, payload: Optional[dict] = None, payload_bytes: int = 0,
+                  oid=None) -> Packet:
+        """Build and send a broadcast packet; returns it (for its UID)."""
+        packet = Packet(
+            kind=kind,
+            src=self.name,
+            dst=BROADCAST,
+            oid=oid,
+            payload=dict(payload or {}),
+            payload_bytes=payload_bytes,
+            created_at=self.sim.now,
+        )
+        self.send(packet)
+        return packet
+
+    # -- ingress -----------------------------------------------------------
+    def receive(self, packet: Packet, in_port: int) -> None:
+        """Ingress entry point: dispatch one arriving packet."""
+        if self.failed:
+            self.tracer.count("host.dropped_while_failed")
+            return
+        self.tracer.count("host.rx")
+        if packet.is_broadcast:
+            if packet.src == self.name:
+                return  # our own broadcast echoed back through a loop
+            if packet.uid in self._seen_broadcasts:
+                self.tracer.count("host.dup_suppressed")
+                return
+            self._seen_broadcasts[packet.uid] = None
+            if len(self._seen_broadcasts) > _DEDUPE_WINDOW:
+                self._seen_broadcasts.popitem(last=False)
+        elif packet.dst is not None and packet.dst != self.name:
+            if not self.promiscuous:
+                # Flooded unknown-unicast for someone else: NIC filter
+                # drops it.
+                self.tracer.count("host.filtered")
+                return
+            self.tracer.count("host.promiscuous_rx")
+        handler = self._handlers.get(packet.kind)
+        if handler is not None:
+            handler(packet)
+        elif self._default_handler is not None:
+            self._default_handler(packet)
+        else:
+            self.tracer.count("host.unhandled")
+            self.unhandled.try_put(packet)

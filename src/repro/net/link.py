@@ -1,0 +1,140 @@
+"""Point-to-point links with bandwidth, propagation delay, and loss.
+
+A :class:`Link` joins two node ports.  Each direction is an independent
+FIFO: store-and-forward with transmission time ``size / bandwidth`` plus
+fixed propagation latency, matching how the emulated Mininet links in §4
+behave.  Optional random loss exercises the reliable-transport layer
+(experiment E9).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..sim import Simulator, Store, Timeout, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .node import Node
+    from .packet import Packet
+
+__all__ = ["Link", "LinkEnd", "DEFAULT_BANDWIDTH_GBPS", "DEFAULT_LATENCY_US"]
+
+DEFAULT_BANDWIDTH_GBPS = 10.0
+DEFAULT_LATENCY_US = 5.0
+
+
+class LinkEnd:
+    """One directed half of a link: ``node`` transmits into it and the
+    packet emerges at ``peer`` after queueing + transmission + latency."""
+
+    def __init__(self, link: "Link", node: "Node", peer: "Node", port: int):
+        self.link = link
+        self.node = node
+        self.peer = peer
+        self.port = port  # port index on the *receiving* node
+        self.bytes_carried = 0
+        self.packets_carried = 0
+        self._queue: Store = Store(link.sim, name=f"{node.name}->{peer.name}")
+        link.sim.spawn(self._pump(), name=f"link:{node.name}->{peer.name}")
+
+    def transmit(self, packet: "Packet") -> None:
+        """Enqueue for transmission (never blocks the sender)."""
+        self._queue.put_nowait(packet)
+
+    def _pump(self):
+        sim = self.link.sim
+        while True:
+            packet = yield self._queue.get()
+            yield Timeout(self.link.transmission_time_us(packet.size_bytes))
+            self.bytes_carried += packet.size_bytes
+            self.packets_carried += 1
+            if self.link._drop(packet):
+                continue
+            # Propagation happens after the last bit leaves the wire.
+            sim.schedule(self.link.latency_us, self._deliver, packet)
+
+    def _deliver(self, packet: "Packet") -> None:
+        packet.hops += 1
+        self.peer.receive(packet, self.port)
+
+    @property
+    def queue_depth(self) -> int:
+        """Packets waiting in this direction's transmit queue."""
+        return len(self._queue)
+
+
+class Link:
+    """A full-duplex link between two nodes.
+
+    Construction wires both directions and registers a port on each
+    node.  ``loss_rate`` drops packets independently per transmission
+    using the simulator's seeded RNG (deterministic across runs).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        a: "Node",
+        b: "Node",
+        bandwidth_gbps: float = DEFAULT_BANDWIDTH_GBPS,
+        latency_us: float = DEFAULT_LATENCY_US,
+        loss_rate: float = 0.0,
+        tracer: Optional[Tracer] = None,
+    ):
+        if bandwidth_gbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency_us < 0:
+            raise ValueError("latency must be non-negative")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+        self.sim = sim
+        self.bandwidth_gbps = bandwidth_gbps
+        self.latency_us = latency_us
+        self.loss_rate = loss_rate
+        self.tracer = tracer
+        port_on_b = b.attach(self)
+        port_on_a = a.attach(self)
+        self.end_ab = LinkEnd(self, a, b, port_on_b)
+        self.end_ba = LinkEnd(self, b, a, port_on_a)
+        self.a = a
+        self.b = b
+
+    def transmission_time_us(self, size_bytes: int) -> float:
+        """Serialization delay of ``size_bytes`` onto the wire."""
+        bytes_per_us = self.bandwidth_gbps * 1e9 / 8 / 1e6
+        return size_bytes / bytes_per_us
+
+    def end_from(self, node: "Node") -> LinkEnd:
+        """The transmit half owned by ``node``."""
+        if node is self.a:
+            return self.end_ab
+        if node is self.b:
+            return self.end_ba
+        raise ValueError(f"node {node.name!r} is not an endpoint of this link")
+
+    @property
+    def bytes_carried(self) -> int:
+        """Total bytes transmitted across both directions."""
+        return self.end_ab.bytes_carried + self.end_ba.bytes_carried
+
+    def other(self, node: "Node") -> "Node":
+        """The opposite endpoint of this link."""
+        if node is self.a:
+            return self.b
+        if node is self.b:
+            return self.a
+        raise ValueError(f"node {node.name!r} is not an endpoint of this link")
+
+    def _drop(self, packet: "Packet") -> bool:
+        if self.loss_rate > 0.0 and self.sim.rng.random() < self.loss_rate:
+            if self.tracer is not None:
+                self.tracer.count("link.dropped")
+                self.tracer.event(self.sim.now, "drop", packet=packet.uid, kind=packet.kind)
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"<Link {self.a.name}<->{self.b.name} {self.bandwidth_gbps}Gbps "
+            f"{self.latency_us}us loss={self.loss_rate}>"
+        )

@@ -1,0 +1,63 @@
+"""Network nodes: the common base for hosts and switches."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from ..sim import Simulator, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .link import Link
+    from .packet import Packet
+
+__all__ = ["Node", "NodeError"]
+
+
+class NodeError(Exception):
+    """Raised on mis-wiring (unknown ports, duplicate names...)."""
+
+
+class Node:
+    """A named network element with numbered ports.
+
+    Ports are created by attaching links; ``receive`` is the ingress
+    entry point subclasses override.  Every node owns a :class:`Tracer`
+    so experiments can read per-node counters.
+    """
+
+    def __init__(self, sim: Simulator, name: str, tracer: Optional[Tracer] = None):
+        if not name:
+            raise NodeError("node needs a non-empty name")
+        self.sim = sim
+        self.name = name
+        self.tracer = tracer or Tracer()
+        self.links: List["Link"] = []
+
+    def attach(self, link: "Link") -> int:
+        """Register ``link`` on the next free port; returns the port index."""
+        self.links.append(link)
+        return len(self.links) - 1
+
+    @property
+    def port_count(self) -> int:
+        """Number of attached links."""
+        return len(self.links)
+
+    def send_on_port(self, port: int, packet: "Packet") -> None:
+        """Transmit ``packet`` out of ``port``."""
+        if not 0 <= port < len(self.links):
+            raise NodeError(f"{self.name}: no port {port} (have {len(self.links)})")
+        self.links[port].end_from(self).transmit(packet)
+
+    def neighbor(self, port: int) -> "Node":
+        """The node on the far end of ``port``."""
+        if not 0 <= port < len(self.links):
+            raise NodeError(f"{self.name}: no port {port}")
+        return self.links[port].other(self)
+
+    def receive(self, packet: "Packet", in_port: int) -> None:
+        """Ingress handler; subclasses must override."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name} ports={self.port_count}>"

@@ -1,0 +1,130 @@
+"""Packets for the identity-routed network.
+
+The paper's network vocabulary (§3.2) is bus-like: a small set of
+operations (read/write requests and replies, coherence traffic,
+discovery) whose *target identity is an object ID*, not a host address.
+Packets here carry both, because the reproduction compares three
+addressing regimes:
+
+* host-addressed unicast (``dst`` set to a host name) — classic L2/L3;
+* broadcast (``dst = BROADCAST``) — E2E discovery;
+* identity-routed (``dst = None`` and ``oid`` set) — switches forward on
+  the object ID through installed exact-match entries.
+
+Sizes are modelled, not real encodings: each packet declares its
+``size_bytes`` so links charge transmission time without us paying the
+cost of actually packing headers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..core.objectid import ObjectID
+
+__all__ = [
+    "Packet",
+    "BROADCAST",
+    "HEADER_BYTES",
+    "OID_FIELD_BYTES",
+    "DEFAULT_TTL",
+]
+
+BROADCAST = "*"
+
+# Modelled fixed header: kind/src/dst/seq + ethernet-ish framing.
+HEADER_BYTES = 42
+# An identity-routed packet additionally carries a 128-bit object ID.
+OID_FIELD_BYTES = 16
+DEFAULT_TTL = 32
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """One simulated packet.
+
+    ``payload`` holds structured protocol fields (request ids, versions,
+    object images...); ``payload_bytes`` is its modelled wire size.  The
+    total :attr:`size_bytes` adds the fixed header and, when the packet
+    is identity-routed, the object-ID field.
+    """
+
+    kind: str
+    src: str
+    dst: Optional[str] = None
+    oid: Optional[ObjectID] = None
+    payload: Dict[str, Any] = field(default_factory=dict)
+    payload_bytes: int = 0
+    ttl: int = DEFAULT_TTL
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+    hops: int = 0
+    created_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+        if self.dst is None and self.oid is None:
+            raise ValueError(
+                f"packet {self.kind!r} needs a destination: host address or object ID"
+            )
+
+    @property
+    def is_broadcast(self) -> bool:
+        """True when addressed to every host."""
+        return self.dst == BROADCAST
+
+    @property
+    def is_identity_routed(self) -> bool:
+        """True when routed on an object ID, not a host."""
+        return self.dst is None and self.oid is not None
+
+    @property
+    def size_bytes(self) -> int:
+        """Total modelled wire size in bytes."""
+        size = HEADER_BYTES + self.payload_bytes
+        if self.oid is not None:
+            size += OID_FIELD_BYTES
+        return size
+
+    def clone_for_flood(self) -> "Packet":
+        """Per-egress copy used when a switch floods: shares the UID and
+        payload (duplicate suppression keys on UID) but gets independent
+        hop/TTL counters so each path is accounted separately."""
+        twin = Packet(
+            kind=self.kind,
+            src=self.src,
+            dst=self.dst,
+            oid=self.oid,
+            payload=self.payload,
+            payload_bytes=self.payload_bytes,
+            ttl=self.ttl,
+            created_at=self.created_at,
+        )
+        twin.uid = self.uid
+        twin.hops = self.hops
+        return twin
+
+    def reply(self, kind: str, payload: Optional[Dict[str, Any]] = None,
+              payload_bytes: int = 0) -> "Packet":
+        """Build a unicast reply back to this packet's source."""
+        return Packet(
+            kind=kind,
+            src=self.dst if self.dst not in (None, BROADCAST) else "",
+            dst=self.src,
+            payload=dict(payload or {}),
+            payload_bytes=payload_bytes,
+        )
+
+    def __repr__(self) -> str:
+        if self.is_identity_routed:
+            where = f"oid={self.oid.short()}"
+        else:
+            where = f"dst={self.dst}"
+        return (
+            f"<Packet #{self.uid} {self.kind} {self.src}->{where} "
+            f"{self.size_bytes}B hops={self.hops}>"
+        )

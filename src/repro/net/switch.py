@@ -1,0 +1,210 @@
+"""Programmable switches: learning L2 forwarding plus identity routing.
+
+Each switch runs a two-stage pipeline, mirroring the P4 program of §4:
+
+1. **Host table** — learned like an L2 switch: the ingress port of every
+   packet teaches the switch where the source host lives.  Unicast to a
+   known host forwards on one port; unknown unicast and broadcast flood.
+2. **Identity table** — an exact-match :class:`MatchActionTable` keyed by
+   128-bit object IDs, populated by the SDN controller scheme.  Identity-
+   routed packets (no host destination) are forwarded by object ID; the
+   miss behaviour is configurable (flood, drop, or punt to a callback),
+   letting experiments explore the §4 "network absorbs the cost" idea.
+
+Flooding in the looped 4-switch topology is made safe by per-switch
+duplicate suppression (each switch forwards a given packet UID at most
+once) plus TTL decrement — a stand-in for a spanning tree.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Optional
+
+from ..core.objectid import ObjectID
+from ..sim import Simulator, Tracer
+from .node import Node
+from .packet import Packet
+from .pipeline import MatchActionTable, SramModel, TOFINO_SRAM
+
+__all__ = ["Switch", "MISS_FLOOD", "MISS_DROP", "MISS_PUNT"]
+
+MISS_FLOOD = "flood"
+MISS_DROP = "drop"
+MISS_PUNT = "punt"
+
+_DEDUPE_WINDOW = 4096
+
+
+class Switch(Node):
+    """A store-and-forward switch with the two-table pipeline above."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        processing_delay_us: float = 0.5,
+        identity_key_bits: int = 128,
+        sram: SramModel = TOFINO_SRAM,
+        identity_capacity: Optional[int] = None,
+        miss_behavior: str = MISS_FLOOD,
+        tracer: Optional[Tracer] = None,
+    ):
+        super().__init__(sim, name, tracer)
+        if processing_delay_us < 0:
+            raise ValueError("processing delay must be non-negative")
+        if miss_behavior not in (MISS_FLOOD, MISS_DROP, MISS_PUNT):
+            raise ValueError(f"unknown miss behavior {miss_behavior!r}")
+        self.processing_delay_us = processing_delay_us
+        self.miss_behavior = miss_behavior
+        self.host_table: dict = {}
+        self.identity_table: MatchActionTable[ObjectID] = MatchActionTable(
+            f"{name}.identity",
+            key_bits=identity_key_bits,
+            sram=sram,
+            capacity_override=identity_capacity,
+        )
+        self._seen_broadcasts: "OrderedDict[int, None]" = OrderedDict()
+        self._punt_handler: Optional[Callable[[Packet, int], None]] = None
+        # Data-plane services (§5: offloading synchronization to the
+        # programmable network): packets addressed to this switch's own
+        # name are consumed by the handler registered for their kind.
+        self._services: dict = {}
+
+    # -- control plane -----------------------------------------------------
+    def install_identity_route(self, oid: ObjectID, port) -> bool:
+        """Controller API: forward packets for ``oid`` out of ``port``
+        (an egress port index, or a tuple of them for multicast groups).
+
+        Returns False (and counts the failure) when the table is full —
+        the hardware constraint E12 exercises.
+        """
+        ports = port if isinstance(port, tuple) else (port,)
+        for p in ports:
+            if not 0 <= p < self.port_count:
+                raise ValueError(f"{self.name}: no port {p}")
+        installed = self.identity_table.try_install(oid, port)
+        if installed:
+            self.tracer.count("switch.route_installed")
+        else:
+            self.tracer.count("switch.table_full")
+        return installed
+
+    def remove_identity_route(self, oid: ObjectID) -> bool:
+        """Delete the identity entry; True if present."""
+        removed = self.identity_table.remove(oid)
+        if removed:
+            self.tracer.count("switch.route_removed")
+        return removed
+
+    def set_punt_handler(self, handler: Callable[[Packet, int], None]) -> None:
+        """Handler invoked for identity misses under MISS_PUNT."""
+        self._punt_handler = handler
+
+    def register_service(self, kind: str, handler: Callable[[Packet], None]) -> None:
+        """Install a data-plane service: packets of ``kind`` addressed to
+        this switch (``dst == switch name``) are consumed by ``handler``
+        after the pipeline's processing delay — the modelled equivalent
+        of a P4 register/stateful-ALU program."""
+        if kind in self._services:
+            raise ValueError(f"{self.name}: service for {kind!r} already registered")
+        self._services[kind] = handler
+
+    def send_from_service(self, packet: Packet) -> None:
+        """Transmit a service-originated reply: forwarded like ordinary
+        ingress traffic (host table first, flood as a last resort)."""
+        port = self.host_table.get(packet.dst)
+        if port is not None:
+            self.tracer.count("switch.tx")
+            self.send_on_port(port, packet)
+        else:
+            self.tracer.count("switch.unknown_unicast")
+            self._flood_once(packet, in_port=-1)
+
+    # -- data plane ----------------------------------------------------------
+    def receive(self, packet: Packet, in_port: int) -> None:
+        """Ingress entry point: dispatch one arriving packet."""
+        self.tracer.count("switch.rx")
+        # Duplicate suppression FIRST, then learning: in a looped fabric,
+        # flood copies of one packet arrive on several ports, and only the
+        # first (which came via the shortest path) may teach the host
+        # table.  Learning from later copies would install ports that
+        # point back into the loop.  The first-copy rule makes every
+        # learned entry a BFS-tree parent pointer toward the source, so
+        # unicast replies can never loop.
+        if packet.uid in self._seen_broadcasts:
+            self.tracer.count("switch.dup_suppressed")
+            return
+        self._seen_broadcasts[packet.uid] = None
+        if len(self._seen_broadcasts) > _DEDUPE_WINDOW:
+            self._seen_broadcasts.popitem(last=False)
+        if packet.src:
+            self.host_table[packet.src] = in_port
+        if self.processing_delay_us > 0:
+            self.sim.schedule(self.processing_delay_us, self._forward, packet, in_port)
+        else:
+            self._forward(packet, in_port)
+
+    def _forward(self, packet: Packet, in_port: int) -> None:
+        if packet.ttl <= 0:
+            self.tracer.count("switch.ttl_expired")
+            return
+        packet.ttl -= 1
+        if packet.is_broadcast:
+            self._flood_once(packet, in_port)
+            return
+        if packet.dst == self.name:
+            # Addressed to this switch: a data-plane service request.
+            handler = self._services.get(packet.kind)
+            if handler is not None:
+                self.tracer.count("switch.service")
+                handler(packet)
+            else:
+                self.tracer.count("switch.service_unknown")
+            return
+        if packet.is_identity_routed:
+            self._forward_by_identity(packet, in_port)
+            return
+        port = self.host_table.get(packet.dst)
+        if port is None:
+            # Unknown unicast: flood, like a learning switch.
+            self.tracer.count("switch.unknown_unicast")
+            self._flood_once(packet, in_port)
+        elif port == in_port:
+            self.tracer.count("switch.hairpin_drop")
+        else:
+            self.tracer.count("switch.tx")
+            self.send_on_port(port, packet)
+
+    def _forward_by_identity(self, packet: Packet, in_port: int) -> None:
+        assert packet.oid is not None
+        action = self.identity_table.lookup(packet.oid)
+        if action is not None:
+            # The action is one egress port, or a tuple of ports for
+            # multicast groups (packet subscriptions fan-out).
+            ports = action if isinstance(action, tuple) else (action,)
+            forwarded = False
+            for port in ports:
+                if port == in_port:
+                    continue
+                self.tracer.count("switch.tx_identity")
+                self.send_on_port(port, packet.clone_for_flood() if len(ports) > 1 else packet)
+                forwarded = True
+            if not forwarded:
+                self.tracer.count("switch.hairpin_drop")
+            return
+        self.tracer.count("switch.identity_miss")
+        if self.miss_behavior == MISS_FLOOD:
+            self._flood_once(packet, in_port)
+        elif self.miss_behavior == MISS_PUNT and self._punt_handler is not None:
+            self._punt_handler(packet, in_port)
+        else:
+            self.tracer.count("switch.identity_drop")
+
+    def _flood_once(self, packet: Packet, in_port: int) -> None:
+        """Forward to all ports except ingress (duplicate copies were
+        already dropped at :meth:`receive`)."""
+        for port in range(self.port_count):
+            if port != in_port:
+                self.tracer.count("switch.flooded")
+                self.send_on_port(port, packet.clone_for_flood())

@@ -1,0 +1,29 @@
+"""In-network synchronization (§5): sequencers and lock managers hosted
+in switch pipelines, with host-based baselines sharing the same wire
+protocol."""
+
+from .client import SyncClient
+from .services import (
+    HostLockService,
+    HostSequencer,
+    KIND_LOCK_ACQ,
+    KIND_LOCK_GRANT,
+    KIND_LOCK_REL,
+    KIND_SEQ_REQ,
+    KIND_SEQ_RSP,
+    SwitchLockService,
+    SwitchSequencer,
+)
+
+__all__ = [
+    "SwitchSequencer",
+    "HostSequencer",
+    "SwitchLockService",
+    "HostLockService",
+    "SyncClient",
+    "KIND_SEQ_REQ",
+    "KIND_SEQ_RSP",
+    "KIND_LOCK_ACQ",
+    "KIND_LOCK_GRANT",
+    "KIND_LOCK_REL",
+]

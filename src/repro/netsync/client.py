@@ -1,0 +1,76 @@
+"""Client-side helpers for the in-network synchronization services."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from ..sim import Future, Simulator, Tracer
+from ..net.host import Host
+from ..net.packet import Packet
+from .services import (
+    KIND_LOCK_ACQ,
+    KIND_LOCK_GRANT,
+    KIND_LOCK_REL,
+    KIND_SEQ_REQ,
+    KIND_SEQ_RSP,
+)
+
+__all__ = ["SyncClient"]
+
+_req_ids = itertools.count(1)
+
+
+class SyncClient:
+    """A host's handle on a sequencer / lock service.
+
+    ``service`` is the *name* of whichever element runs the service —
+    a switch (in-network) or a host (baseline); the wire protocol is
+    identical, which is what makes the E13 comparison clean.
+    """
+
+    def __init__(self, host: Host, service: str,
+                 tracer: Optional[Tracer] = None):
+        self.host = host
+        self.sim: Simulator = host.sim
+        self.service = service
+        self.tracer = tracer or Tracer()
+        self._pending: Dict[int, Future] = {}
+        host.on(KIND_SEQ_RSP, self._on_reply)
+        host.on(KIND_LOCK_GRANT, self._on_reply)
+
+    def _on_reply(self, packet: Packet) -> None:
+        future = self._pending.pop(packet.payload["req_id"], None)
+        if future is not None and not future.done:
+            future.set_result(packet)
+
+    def _request(self, kind: str, payload: dict, payload_bytes: int = 24):
+        req_id = next(_req_ids)
+        future = Future(self.sim, name=f"sync-{req_id}")
+        self._pending[req_id] = future
+        self.host.send(Packet(
+            kind=kind, src=self.host.name, dst=self.service,
+            payload={"req_id": req_id, **payload}, payload_bytes=payload_bytes,
+        ))
+        return future
+
+    def next_sequence(self, stream: str = "default"):
+        """Process: obtain the next ticket of ``stream``."""
+        start = self.sim.now
+        reply = yield self._request(KIND_SEQ_REQ, {"stream": stream})
+        self.tracer.sample("sync.seq_us", self.sim.now - start, self.sim.now)
+        return reply.payload["value"]
+
+    def acquire_lock(self, name: str):
+        """Process: block until the named lock is granted to us."""
+        start = self.sim.now
+        yield self._request(KIND_LOCK_ACQ, {"name": name})
+        self.tracer.sample("sync.lock_us", self.sim.now - start, self.sim.now)
+        return True
+
+    def release_lock(self, name: str) -> None:
+        """Fire-and-forget release (the service ignores stale releases)."""
+        self.host.send(Packet(
+            kind=KIND_LOCK_REL, src=self.host.name, dst=self.service,
+            payload={"name": name}, payload_bytes=24,
+        ))

@@ -1,0 +1,26 @@
+"""Packet subscriptions: predicates over user-defined packet formats,
+compiled to switch rules; identity-routed pub/sub over the fabric."""
+
+from .compiler import CompiledRule, CompileError, RuleSet, compile_subscriptions
+from .fabric import PubSubFabric, Subscription
+from .formats import FormatError, FormatField, PacketFormat
+from .predicates import TRUE, And, Eq, InRange, Or, Predicate, PredicateError
+
+__all__ = [
+    "Predicate",
+    "Eq",
+    "InRange",
+    "And",
+    "Or",
+    "TRUE",
+    "PredicateError",
+    "PacketFormat",
+    "FormatField",
+    "FormatError",
+    "compile_subscriptions",
+    "RuleSet",
+    "CompiledRule",
+    "CompileError",
+    "PubSubFabric",
+    "Subscription",
+]

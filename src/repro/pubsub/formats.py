@@ -1,0 +1,88 @@
+"""User-defined packet formats.
+
+Packet Subscriptions parse *user-defined* headers in the switch; the
+format declaration here plays the role of the P4 parser: named integer
+fields with explicit bit widths.  The compiler uses the widths for
+switch-table entry accounting, and publications are validated against
+the format before they hit the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["FormatField", "PacketFormat", "FormatError"]
+
+
+class FormatError(Exception):
+    """Raised for malformed formats or out-of-range field values."""
+
+
+@dataclass(frozen=True)
+class FormatField:
+    """One header field: a name and a width in bits."""
+
+    name: str
+    bits: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise FormatError("field needs a name")
+        if not 1 <= self.bits <= 128:
+            raise FormatError(f"field {self.name!r}: width must be 1..128 bits")
+
+    @property
+    def max_value(self) -> int:
+        """Largest value the field width can hold."""
+        return (1 << self.bits) - 1
+
+
+class PacketFormat:
+    """An ordered set of fields — the user-defined header layout."""
+
+    def __init__(self, name: str, fields: List[FormatField]):
+        if not fields:
+            raise FormatError(f"format {name!r} has no fields")
+        names = [f.name for f in fields]
+        if len(set(names)) != len(names):
+            raise FormatError(f"format {name!r} has duplicate fields")
+        self.name = name
+        self.fields = list(fields)
+        self._by_name = {f.name: f for f in fields}
+
+    def field(self, name: str) -> FormatField:
+        """Look up a field by name; raises if unknown."""
+        field = self._by_name.get(name)
+        if field is None:
+            raise FormatError(f"format {self.name!r} has no field {name!r}")
+        return field
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def header_bits(self) -> int:
+        """Total header width in bits."""
+        return sum(f.bits for f in self.fields)
+
+    @property
+    def header_bytes(self) -> int:
+        """Total header width in whole bytes."""
+        return (self.header_bits + 7) // 8
+
+    def key_bits(self, field_names) -> int:
+        """Total key width of a rule matching on ``field_names``."""
+        return sum(self.field(name).bits for name in field_names)
+
+    def validate(self, values: Dict[str, int]) -> None:
+        """Check a publication's field values against the format."""
+        for name, value in values.items():
+            field = self.field(name)
+            if not isinstance(value, int) or not 0 <= value <= field.max_value:
+                raise FormatError(
+                    f"field {name!r}: value {value!r} does not fit {field.bits} bits"
+                )
+
+    def __repr__(self) -> str:
+        return f"<PacketFormat {self.name} {self.header_bits} bits>"

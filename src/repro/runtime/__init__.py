@@ -1,0 +1,20 @@
+"""The global-space runtime: cluster nodes, execution contexts, and the
+rendezvous invocation engine — the paper's headline programming model."""
+
+from .engine import MODE_EAGER, MODE_LAZY, GlobalSpaceRuntime, InvokeResult
+from .node import ClusterNode, ExecutionContext, RuntimeError_
+from .plan import Plan, PlanResult, PlanStep, run_plan
+
+__all__ = [
+    "GlobalSpaceRuntime",
+    "InvokeResult",
+    "ClusterNode",
+    "ExecutionContext",
+    "RuntimeError_",
+    "MODE_EAGER",
+    "MODE_LAZY",
+    "Plan",
+    "PlanStep",
+    "PlanResult",
+    "run_plan",
+]

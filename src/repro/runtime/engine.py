@@ -1,0 +1,365 @@
+"""The rendezvous engine: data-centric invocation over the cluster.
+
+This is the paper's headline API.  The programmer supplies a *code
+reference* and *data references* (§3: "the programmer primarily
+orchestrates a rendezvous between code and data"); the runtime
+
+1. asks the placement engine where the computation should run (§3.1:
+   "the placement decision would be made by the system");
+2. stages the code object — and, in eager mode, the data objects — to
+   that node as byte-level copies over the simulated network;
+3. executes the code there (demand-reading any unstaged data); and
+4. returns the small by-value result to the invoker.
+
+Nothing in the caller's code names a host: Figure 1(3) falls out of
+``runtime.invoke(code_ref, {...refs...})``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core.codeobj import FunctionRegistry, write_code_object
+from ..core.costmodel import CostModel, DEFAULT_COST_MODEL
+from ..core.objectid import ObjectID
+from ..core.objects import MemObject
+from ..core.placement import (
+    NodeProfile,
+    PlacementDecision,
+    PlacementEngine,
+    PlacementError,
+    PlacementItem,
+    PlacementRequest,
+)
+from ..core.refs import GlobalRef
+from ..core.security import PolicyRegistry
+from ..core.space import ObjectSpace
+from ..core.objectid import IDAllocator
+from ..sim import Simulator, Tracer
+from ..net.packet import Packet
+from ..net.topology import Network
+from ..rpc.serializer import decode, encode
+from . import messages as m
+from .node import ClusterNode, RuntimeError_
+
+__all__ = ["GlobalSpaceRuntime", "InvokeResult", "MODE_EAGER", "MODE_LAZY"]
+
+MODE_EAGER = "eager"  # stage every input object at the executor up front
+MODE_LAZY = "lazy"    # stage only the code; data moves on demand
+
+
+@dataclass
+class InvokeResult:
+    """What an invocation returns to the caller, plus its cost story."""
+
+    value: Any
+    executed_at: str
+    latency_us: float
+    decision: PlacementDecision
+    invoke_id: int
+
+
+class GlobalSpaceRuntime:
+    """The cluster-wide object space and its invocation engine.
+
+    One runtime instance per simulation; nodes are added over an
+    existing :class:`~repro.net.topology.Network`.  The runtime keeps
+    the replica directory (``locations``) that stands in for the
+    discovery layer of §4 — data-plane transfers still traverse the
+    simulated network and pay full transmission costs.
+    """
+
+    def __init__(self, network: Network,
+                 registry: Optional[FunctionRegistry] = None,
+                 cost_model: CostModel = DEFAULT_COST_MODEL,
+                 placement: Optional[PlacementEngine] = None,
+                 policies: Optional[PolicyRegistry] = None,
+                 allocator_seed: int = 1,
+                 lazy_touch_fraction: float = 0.1):
+        self.network = network
+        self.sim: Simulator = network.sim
+        self.registry = registry if registry is not None else FunctionRegistry()
+        self.cost_model = cost_model
+        self.placement = placement if placement is not None else PlacementEngine(cost_model)
+        self.policies = policies if policies is not None else PolicyRegistry()
+        self.allocator = IDAllocator(seed=allocator_seed)
+        self.lazy_touch_fraction = lazy_touch_fraction
+        self.tracer = Tracer()
+        self.nodes: Dict[str, ClusterNode] = {}
+        self._base_profiles: Dict[str, NodeProfile] = {}
+        self.locations: Dict[ObjectID, Set[str]] = {}
+        self._sizes: Dict[ObjectID, int] = {}
+        self._invoke_ids = iter(range(1, 1 << 62))
+
+    # -- cluster construction ------------------------------------------------
+    def add_node(self, host_name: str, speed: float = 1.0,
+                 capacity_bytes: int = 1 << 40, can_execute: bool = True) -> ClusterNode:
+        """Join the host named ``host_name`` to the global space."""
+        if host_name in self.nodes:
+            raise RuntimeError_(f"node {host_name!r} already added")
+        host = self.network.host(host_name)
+        space = ObjectSpace(self.allocator, host_name=host_name)
+        node = ClusterNode(self, host, space)
+        self.nodes[host_name] = node
+        self._base_profiles[host_name] = NodeProfile(
+            name=host_name, speed=speed, capacity_bytes=capacity_bytes,
+            can_execute=can_execute,
+        )
+        return node
+
+    def node(self, name: str) -> ClusterNode:
+        """Look up a node by name; raises if unknown."""
+        node = self.nodes.get(name)
+        if node is None:
+            raise RuntimeError_(f"unknown node {name!r}")
+        return node
+
+    # -- object lifecycle -----------------------------------------------------
+    def create_object(self, node_name: str, size: int, label: str = "") -> MemObject:
+        """Create a data object resident on ``node_name``."""
+        obj = self.node(node_name).space.create_object(size=size, label=label)
+        self.locations[obj.oid] = {node_name}
+        self._sizes[obj.oid] = obj.wire_size
+        return obj
+
+    def create_code(self, node_name: str, entry: str, text_size: int,
+                    label: str = "") -> Tuple[MemObject, GlobalRef]:
+        """Create a code object for registry entry ``entry``; returns the
+        object and a read-only reference suitable for :meth:`invoke`."""
+        if entry not in self.registry:
+            raise RuntimeError_(f"no registered function {entry!r}")
+        obj = write_code_object(self.node(node_name).space, entry, text_size, label)
+        self.locations[obj.oid] = {node_name}
+        self._sizes[obj.oid] = obj.wire_size
+        return obj, GlobalRef(obj.oid, 0, "read")
+
+    def adopt_object(self, node_name: str, obj: MemObject) -> None:
+        """Register an externally constructed object as resident."""
+        node = self.node(node_name)
+        if obj.oid not in node.space:
+            node.space.insert(obj)
+        self.locations[obj.oid] = {node_name}
+        self._sizes[obj.oid] = obj.wire_size
+
+    # -- directory ------------------------------------------------------------
+    def holders(self, oid: ObjectID) -> Set[str]:
+        """Host names currently holding a replica of ``oid``."""
+        holders = self.locations.get(oid)
+        if not holders:
+            raise RuntimeError_(f"object {oid.short()} unknown to the runtime")
+        return set(holders)
+
+    def nearest_holder(self, oid: ObjectID, to: str) -> str:
+        """Closest replica holder to ``to`` by hop count."""
+        return min(self.holders(oid),
+                   key=lambda h: self.network.hop_distance(h, to))
+
+    def _effective_distance(self, a: str, b: str) -> int:
+        """Latency-weighted distance in equivalent cost-model hops.
+
+        The placement estimator prices a hop at
+        ``cost_model.link_latency_us``; converting real path latency into
+        equivalent hops makes a slow edge uplink count for what it costs
+        instead of counting as one cheap hop.
+        """
+        if a == b:
+            return 0
+        latency = self.network.path_latency_us(a, b)
+        return max(1, round(latency / self.cost_model.link_latency_us))
+
+    def note_copy(self, oid: ObjectID, node_name: str) -> None:
+        """Record that ``node_name`` now holds a replica of ``oid``."""
+        self.locations.setdefault(oid, set()).add(node_name)
+
+    def replicate(self, oid: ObjectID, to: str):
+        """Process: copy ``oid`` to node ``to`` over the network (a real
+        byte-level fetch paying wire costs); registers the new replica."""
+        node = self.node(to)
+        obj = yield from node.fetch_object(oid)
+        return obj
+
+    def migrate(self, oid: ObjectID, src: str, dst: str):
+        """Process: move ``oid`` from ``src`` to ``dst``: replicate, then
+        drop the source copy.  The identity is unchanged — references
+        held anywhere keep working through the directory."""
+        if src not in self.holders(oid):
+            raise RuntimeError_(f"{src} does not hold {oid.short()}")
+        obj = yield from self.node(dst).fetch_object(oid, holder=src)
+        if src != dst:
+            self.drop_replica(oid, src)
+        return obj
+
+    def drop_replica(self, oid: ObjectID, node_name: str) -> None:
+        """Evict a replica (e.g., capacity pressure or invalidation)."""
+        node = self.node(node_name)
+        holders = self.holders(oid)
+        if len(holders) == 1 and node_name in holders:
+            raise RuntimeError_(f"refusing to drop the last replica of {oid.short()}")
+        if oid in node.space:
+            node.space.evict(oid)
+        holders = self.locations[oid]
+        holders.discard(node_name)
+
+    def object_size(self, oid: ObjectID) -> int:
+        """Registered wire size of ``oid``."""
+        size = self._sizes.get(oid)
+        if size is None:
+            raise RuntimeError_(f"object {oid.short()} unknown to the runtime")
+        return size
+
+    def peek_object(self, oid: ObjectID) -> MemObject:
+        """Oracle view of some replica (used for FOT resolution when the
+        object is not resident where the pointer is being followed)."""
+        holder = next(iter(self.holders(oid)))
+        return self.node(holder).space.get(oid)
+
+    # -- access control ---------------------------------------------------------
+    def protect(self, oid: ObjectID, owner: str, readers=None, writers=()):
+        """Attach an ACL to ``oid`` (see :class:`PolicyRegistry.protect`).
+
+        Confidential inputs constrain placement: nodes outside the
+        reader set are never chosen to execute over them.
+        """
+        from ..core.security import PUBLIC
+
+        return self.policies.protect(
+            oid, owner, PUBLIC if readers is None else readers, writers)
+
+    # -- placement inputs ------------------------------------------------------
+    def live_profiles(self, candidates: Optional[Iterable[str]] = None) -> List[NodeProfile]:
+        """Node profiles with live queue depths folded in."""
+        names = list(candidates) if candidates is not None else list(self.nodes)
+        profiles = []
+        for name in names:
+            base = self._base_profiles[name]
+            profiles.append(NodeProfile(
+                name=base.name, speed=base.speed,
+                active_jobs=self.nodes[name].active_jobs,
+                capacity_bytes=base.capacity_bytes,
+                can_execute=base.can_execute,
+            ))
+        return profiles
+
+    def _placement_item(self, ref: GlobalRef, scale: float = 1.0,
+                        pinned: bool = False) -> PlacementItem:
+        size = self.object_size(ref.oid)
+        return PlacementItem(
+            ref=ref,
+            size_bytes=max(1, int(size * scale)),
+            locations=tuple(sorted(self.holders(ref.oid))),
+            pinned=pinned,
+        )
+
+    # -- the rendezvous ---------------------------------------------------------
+    def invoke(self, invoker: str, code_ref: GlobalRef,
+               data_refs: Optional[Dict[str, GlobalRef]] = None,
+               values: Optional[Dict[str, Any]] = None,
+               flops: float = 1e6, result_bytes: int = 256,
+               mode: str = MODE_EAGER,
+               pinned: Iterable[str] = (),
+               candidates: Optional[Iterable[str]] = None,
+               decode_args: Iterable[str] = (),
+               materialize_result: bool = False):
+        """Process: run the code behind ``code_ref`` against ``data_refs``.
+
+        ``pinned`` names data arguments that may not be moved off their
+        current host (privacy/local-only constraints — such inputs force
+        placement toward their holder).  ``decode_args`` names reference
+        arguments whose object bytes are decoded into plain values at the
+        executor (pipeline intermediates).  ``materialize_result=True``
+        leaves the result as an object at the executor and returns only
+        its descriptor — see :mod:`repro.runtime.plan`.  Returns
+        :class:`InvokeResult`.
+        """
+        if invoker not in self.nodes:
+            raise RuntimeError_(f"invoker {invoker!r} is not a cluster node")
+        data_refs = dict(data_refs or {})
+        values = dict(values or {})
+        pinned = set(pinned)
+        unknown_pins = pinned - set(data_refs)
+        if unknown_pins:
+            raise RuntimeError_(f"pinned arguments not in data_refs: {sorted(unknown_pins)}")
+        start = self.sim.now
+        invoke_id = next(self._invoke_ids)
+
+        # Confidentiality constrains placement: the executor must be
+        # allowed to read every input (and the code object).
+        candidate_names = set(candidates) if candidates is not None else set(self.nodes)
+        for ref in list(data_refs.values()) + [code_ref]:
+            candidate_names = self.policies.readable_nodes(ref.oid, candidate_names)
+        if not candidate_names:
+            raise PlacementError(
+                "no candidate node may read every input under the current ACLs")
+        candidates = sorted(candidate_names)
+
+        scale = 1.0 if mode == MODE_EAGER else self.lazy_touch_fraction
+        request = PlacementRequest(
+            code=self._placement_item(code_ref),
+            inputs=tuple(
+                self._placement_item(ref, scale=scale, pinned=(name in pinned))
+                for name, ref in data_refs.items()
+            ),
+            invoker=invoker,
+            result_bytes=result_bytes,
+            flops=flops,
+        )
+        decision = self.placement.decide(
+            request, self.live_profiles(candidates), self._effective_distance)
+        self.tracer.count("runtime.invocations")
+        self.tracer.count(f"runtime.placed_at.{decision.node}")
+
+        stage: List[ObjectID] = [code_ref.oid]
+        if mode == MODE_EAGER:
+            stage.extend(ref.oid for ref in data_refs.values()
+                         if decision.node not in self.holders(ref.oid))
+        compute_us = decision.compute_us
+
+        executor = self.node(decision.node)
+        decode_args = list(decode_args)
+        if decision.node == invoker:
+            result = yield from executor.stage_and_execute(
+                code_ref.oid, stage, data_refs, values, compute_us,
+                decode_args=decode_args, materialize=materialize_result)
+        else:
+            result = yield from self._remote_exec(
+                invoker, decision.node, code_ref.oid, stage, data_refs,
+                values, compute_us, result_bytes,
+                decode_args=decode_args, materialize=materialize_result)
+        latency = self.sim.now - start
+        self.tracer.sample("runtime.invoke_us", latency, self.sim.now)
+        return InvokeResult(
+            value=result, executed_at=decision.node, latency_us=latency,
+            decision=decision, invoke_id=invoke_id,
+        )
+
+    def _remote_exec(self, invoker: str, executor: str, code_oid: ObjectID,
+                     stage: List[ObjectID], data_refs: Dict[str, GlobalRef],
+                     values: Dict[str, Any], compute_us: float,
+                     result_bytes: int, decode_args: List[str] = [],
+                     materialize: bool = False):
+        node = self.node(invoker)
+        req_id, future = node._new_future()
+        wire_values = encode(values)
+        node.host.send(Packet(
+            kind=m.KIND_EXEC_REQ, src=invoker, dst=executor,
+            payload={
+                "req_id": req_id,
+                "code_oid": str(code_oid),
+                "stage": [str(oid) for oid in stage],
+                "refs": {name: (str(ref.oid), ref.offset, ref.mode)
+                         for name, ref in data_refs.items()},
+                "args": wire_values,
+                "compute_us": compute_us,
+                "result_bytes": result_bytes,
+                "decode": decode_args,
+                "materialize": materialize,
+            },
+            payload_bytes=m.EXEC_REQ_OVERHEAD_BYTES + len(wire_values)
+            + 24 * len(data_refs),
+        ))
+        reply = yield future
+        result = decode(reply.payload["result"])
+        if not reply.payload["ok"]:
+            raise RuntimeError_(f"remote execution on {executor} failed: {result}")
+        return result

@@ -1,0 +1,29 @@
+"""Packet kinds and helpers for the global-space runtime protocol.
+
+Four exchanges, all identity-oriented:
+
+* **fetch** — move a whole object image (byte-level copy) to a node;
+* **read** — demand-read a byte range of a remote object (the §3.1
+  "move data on demand instead of having to move the entire object");
+* **write** — demand-write a byte range of a remote object;
+* **exec** — ask a node to run a code object against argument refs and
+  deliver the (small, by-value) result.
+"""
+
+from __future__ import annotations
+
+KIND_FETCH_REQ = "gs.fetch_req"
+KIND_FETCH_RSP = "gs.fetch_rsp"
+KIND_FETCH_NACK = "gs.fetch_nack"
+KIND_READ_REQ = "gs.read_req"
+KIND_READ_RSP = "gs.read_rsp"
+KIND_WRITE_REQ = "gs.write_req"
+KIND_WRITE_RSP = "gs.write_rsp"
+KIND_EXEC_REQ = "gs.exec_req"
+KIND_EXEC_RSP = "gs.exec_rsp"
+
+# Modelled header overheads (bytes) for each message family.
+FETCH_REQ_BYTES = 24
+READ_REQ_BYTES = 32
+EXEC_REQ_OVERHEAD_BYTES = 48
+RSP_OVERHEAD_BYTES = 24

@@ -1,0 +1,450 @@
+"""Cluster nodes: per-host protocol handlers and the execution context.
+
+A :class:`ClusterNode` joins a host's network attachment to its object
+space and serves the runtime protocol (fetch / read / write / exec).  An
+:class:`ExecutionContext` is what mobile code receives when it runs on a
+node: references resolve through it, and any touch of a non-resident
+object becomes network traffic — the demand-driven data movement of
+§3.1.
+
+Code functions are either plain callables ``fn(ctx, args) -> result``
+(purely local logic) or generator functions that ``yield`` the waitables
+``ctx`` hands back for remote operations::
+
+    def traverse(ctx, args):
+        ref = GlobalRef.from_bytes(args["start"])
+        total = 0
+        for _ in range(args["steps"]):
+            record = yield ctx.read(ref, 0, 16)
+            ...
+        return total
+"""
+
+from __future__ import annotations
+
+import inspect
+import itertools
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from ..core.objectid import ObjectID
+from ..core.objects import MemObject
+from ..core.refs import GlobalRef
+from ..core.security import AccessDenied
+from ..core.space import ObjectSpace
+from ..sim import AnyOf, Future, Simulator, Timeout, Tracer
+from ..net.host import Host
+from ..net.packet import Packet
+from ..rpc.serializer import decode, encode
+from . import messages as m
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import GlobalSpaceRuntime
+
+__all__ = ["ClusterNode", "ExecutionContext", "RuntimeError_"]
+
+_req_ids = itertools.count(1)
+
+
+class RuntimeError_(Exception):
+    """Runtime-layer failures (missing objects, unknown entries...)."""
+
+
+class ClusterNode:
+    """One host participating in the global object space."""
+
+    def __init__(self, runtime: "GlobalSpaceRuntime", host: Host,
+                 space: ObjectSpace, tracer: Optional[Tracer] = None,
+                 request_timeout_us: float = 100_000.0):
+        self.runtime = runtime
+        self.host = host
+        self.sim: Simulator = host.sim
+        self.space = space
+        self.tracer = tracer or Tracer()
+        self.request_timeout_us = request_timeout_us
+        self.active_jobs = 0
+        self._pending: Dict[int, Future] = {}
+        host.on(m.KIND_FETCH_REQ, self._on_fetch_req)
+        host.on(m.KIND_FETCH_RSP, self._on_reply)
+        host.on(m.KIND_FETCH_NACK, self._on_reply)
+        host.on(m.KIND_READ_REQ, self._on_read_req)
+        host.on(m.KIND_READ_RSP, self._on_reply)
+        host.on(m.KIND_WRITE_REQ, self._on_write_req)
+        host.on(m.KIND_WRITE_RSP, self._on_reply)
+        host.on(m.KIND_EXEC_REQ, self._on_exec_req)
+        host.on(m.KIND_EXEC_RSP, self._on_reply)
+
+    @property
+    def name(self) -> str:
+        """The node's host name."""
+        return self.host.name
+
+    # -- request/reply plumbing --------------------------------------------
+    def _new_future(self) -> tuple:
+        req_id = next(_req_ids)
+        future = Future(self.sim, name=f"{self.name}-req{req_id}")
+        self._pending[req_id] = future
+        return req_id, future
+
+    def _on_reply(self, packet: Packet) -> None:
+        future = self._pending.pop(packet.payload["req_id"], None)
+        if future is not None and not future.done:
+            future.set_result(packet)
+
+    # -- server side ----------------------------------------------------------
+    def _on_fetch_req(self, packet: Packet) -> None:
+        oid = packet.oid
+        assert oid is not None
+        req_id = packet.payload["req_id"]
+        if (oid not in self.space
+                or not self.runtime.policies.allows_read(oid, packet.src)):
+            if oid in self.space:
+                self.tracer.count("node.fetch_denied")
+            self.tracer.count("node.fetch_nack")
+            self.host.send(Packet(
+                kind=m.KIND_FETCH_NACK, src=self.name, dst=packet.src, oid=oid,
+                payload={"req_id": req_id}, payload_bytes=m.RSP_OVERHEAD_BYTES,
+            ))
+            return
+        wire = self.space.export_object(oid)
+        self.tracer.count("node.fetch_served")
+        # The object image rides the reply: payload_bytes makes the links
+        # charge real transmission time for the full copy.
+        self.host.send(Packet(
+            kind=m.KIND_FETCH_RSP, src=self.name, dst=packet.src, oid=oid,
+            payload={"req_id": req_id, "wire": wire},
+            payload_bytes=m.RSP_OVERHEAD_BYTES + len(wire),
+        ))
+
+    def _on_read_req(self, packet: Packet) -> None:
+        oid = packet.oid
+        assert oid is not None
+        req_id = packet.payload["req_id"]
+        if (oid not in self.space
+                or not self.runtime.policies.allows_read(oid, packet.src)):
+            if oid in self.space:
+                self.tracer.count("node.read_denied")
+            self.host.send(Packet(
+                kind=m.KIND_READ_RSP, src=self.name, dst=packet.src, oid=oid,
+                payload={"req_id": req_id, "ok": False},
+                payload_bytes=m.RSP_OVERHEAD_BYTES,
+            ))
+            return
+        obj = self.space.get(oid)
+        offset = packet.payload["offset"]
+        length = min(packet.payload["length"], obj.size - offset)
+        data = obj.read(offset, length)
+        self.tracer.count("node.read_served")
+        self.host.send(Packet(
+            kind=m.KIND_READ_RSP, src=self.name, dst=packet.src, oid=oid,
+            payload={"req_id": req_id, "ok": True, "data": data,
+                     "version": obj.version},
+            payload_bytes=m.RSP_OVERHEAD_BYTES + length,
+        ))
+
+    def _on_write_req(self, packet: Packet) -> None:
+        oid = packet.oid
+        assert oid is not None
+        req_id = packet.payload["req_id"]
+        ok = oid in self.space
+        if ok:
+            try:
+                self.runtime.policies.check_write(oid, packet.src)
+            except AccessDenied:
+                self.tracer.count("node.write_denied")
+                ok = False
+        if ok:
+            obj = self.space.get(oid)
+            obj.write(packet.payload["offset"], packet.payload["data"])
+            self.tracer.count("node.write_served")
+        self.host.send(Packet(
+            kind=m.KIND_WRITE_RSP, src=self.name, dst=packet.src, oid=oid,
+            payload={"req_id": req_id, "ok": ok},
+            payload_bytes=m.RSP_OVERHEAD_BYTES,
+        ))
+
+    def _on_exec_req(self, packet: Packet) -> None:
+        self.sim.spawn(self._serve_exec(packet), name=f"{self.name}-exec")
+
+    def _serve_exec(self, packet: Packet):
+        req_id = packet.payload["req_id"]
+        code_oid = ObjectID.from_hex(packet.payload["code_oid"])
+        stage = [ObjectID.from_hex(text) for text in packet.payload["stage"]]
+        refs = {
+            name: GlobalRef(ObjectID.from_hex(oid_hex), offset, mode)
+            for name, (oid_hex, offset, mode) in packet.payload["refs"].items()
+        }
+        values = decode(packet.payload["args"])
+        compute_us = packet.payload["compute_us"]
+        decode_args = packet.payload.get("decode", [])
+        materialize = packet.payload.get("materialize", False)
+        try:
+            result = yield from self.stage_and_execute(
+                code_oid, stage, refs, values, compute_us,
+                decode_args=decode_args, materialize=materialize)
+            ok, wire_result = True, encode(result)
+        except Exception as exc:
+            ok, wire_result = False, encode(str(exc))
+        self.host.send(Packet(
+            kind=m.KIND_EXEC_RSP, src=self.name, dst=packet.src,
+            payload={"req_id": req_id, "ok": ok, "result": wire_result},
+            payload_bytes=m.RSP_OVERHEAD_BYTES + len(wire_result),
+        ))
+
+    def stage_and_execute(self, code_oid: ObjectID, stage, refs, values,
+                          compute_us: float, decode_args=(),
+                          materialize: bool = False):
+        """Process: pull every staged object here (in parallel), then run.
+
+        ``refs`` (name -> GlobalRef) and ``values`` (name -> plain value)
+        merge into the args dict the code function receives.  Names in
+        ``decode_args`` are reference arguments whose staged object bytes
+        are decoded into plain values first (how pipeline intermediates
+        arrive).  With ``materialize=True`` the result is written into a
+        fresh local object and only its descriptor is returned — the
+        §5 query-planning pattern: intermediates stay where they were
+        produced until the next stage pulls them.
+        """
+        from ..sim import AllOf
+
+        missing = [oid for oid in stage if oid not in self.space]
+        if missing:
+            fetches = [
+                self.sim.spawn(self.fetch_object(oid), name=f"stage-{oid.short()}")
+                for oid in missing
+            ]
+            yield AllOf(fetches)
+        args: Dict[str, Any] = dict(values)
+        args.update(refs)
+        for name in decode_args:
+            ref = refs[name]
+            if ref.oid not in self.space:
+                yield self.sim.spawn(self.fetch_object(ref.oid),
+                                     name=f"decode-{ref.oid.short()}")
+            obj = self.space.get(ref.oid)
+            args[name] = decode(obj.read(0, obj.size))
+        result = yield from self.execute(code_oid, args, compute_us)
+        if materialize:
+            wire = encode(result)
+            out = self.runtime.create_object(self.name, size=max(len(wire), 1),
+                                             label="intermediate")
+            out.write(0, wire)
+            self.tracer.count("node.materialized")
+            return {"__materialized__": str(out.oid), "size": out.size}
+        return result
+
+    # -- execution ----------------------------------------------------------
+    def execute(self, code_oid: ObjectID, args: Dict[str, Any], compute_us: float):
+        """Process: run the code object ``code_oid`` locally.
+
+        The code object must be resident (the runtime moves it first);
+        the function body runs against an :class:`ExecutionContext`.
+        """
+        from ..core.codeobj import read_code_entry  # local import, no cycle
+
+        if code_oid not in self.space:
+            raise RuntimeError_(f"code object {code_oid.short()} not resident on {self.name}")
+        entry, _text_size = read_code_entry(self.space.get(code_oid))
+        fn = self.runtime.registry.lookup(entry)
+        ctx = ExecutionContext(self)
+        self.active_jobs += 1
+        self.tracer.count("node.exec")
+        try:
+            yield Timeout(compute_us)
+            if inspect.isgeneratorfunction(fn):
+                result = yield from fn(ctx, args)
+            else:
+                result = fn(ctx, args)
+        finally:
+            self.active_jobs -= 1
+        return result
+
+    # -- client-side primitives ------------------------------------------------
+    def fetch_object(self, oid: ObjectID, holder: Optional[str] = None):
+        """Process: pull a full object image into our space.
+
+        Tries the nearest holder first; on a NACK or timeout (crashed or
+        stale holder — the §5 partial-failure case) it fails over to the
+        remaining replicas before giving up.
+        """
+        if oid in self.space:
+            return self.space.get(oid)
+        if holder is not None:
+            sources = [holder]
+        else:
+            sources = sorted(
+                self.runtime.holders(oid),
+                key=lambda h: self.runtime.network.hop_distance(h, self.name))
+        last_error = None
+        for source in sources:
+            if source == self.name:
+                continue
+            req_id, future = self._new_future()
+            self.host.send(Packet(
+                kind=m.KIND_FETCH_REQ, src=self.name, dst=source, oid=oid,
+                payload={"req_id": req_id}, payload_bytes=m.FETCH_REQ_BYTES,
+            ))
+            index, reply = yield AnyOf([future, Timeout(self.request_timeout_us)])
+            if index == 1:
+                self._pending.pop(req_id, None)
+                self.tracer.count("node.fetch_timeout")
+                last_error = RuntimeError_(
+                    f"fetch of {oid.short()} from {source} timed out")
+                continue
+            if reply.kind == m.KIND_FETCH_NACK:
+                self.tracer.count("node.fetch_failover")
+                last_error = RuntimeError_(
+                    f"{source} no longer holds (or refuses) {oid.short()}")
+                continue
+            obj = self.space.import_object(reply.payload["wire"], replace=True)
+            self.tracer.count("node.fetched")
+            self.runtime.note_copy(oid, self.name)
+            return obj
+        raise last_error if last_error is not None else RuntimeError_(
+            f"no source for object {oid.short()}")
+
+    def remote_read(self, oid: ObjectID, offset: int, length: int,
+                    holder: Optional[str] = None):
+        """Process: demand-read a range of a remote object, failing over
+        across replicas on denial, staleness, or holder crash."""
+        if holder is not None:
+            sources = [holder]
+        else:
+            sources = sorted(
+                self.runtime.holders(oid),
+                key=lambda h: self.runtime.network.hop_distance(h, self.name))
+        last_error = None
+        for source in sources:
+            req_id, future = self._new_future()
+            self.host.send(Packet(
+                kind=m.KIND_READ_REQ, src=self.name, dst=source, oid=oid,
+                payload={"req_id": req_id, "offset": offset, "length": length},
+                payload_bytes=m.READ_REQ_BYTES,
+            ))
+            index, reply = yield AnyOf([future, Timeout(self.request_timeout_us)])
+            if index == 1:
+                self._pending.pop(req_id, None)
+                self.tracer.count("node.read_timeout")
+                last_error = RuntimeError_(
+                    f"read of {oid.short()} from {source} timed out")
+                continue
+            if not reply.payload["ok"]:
+                last_error = RuntimeError_(
+                    f"{source} could not serve read of {oid.short()}")
+                continue
+            self.tracer.count("node.remote_read")
+            return reply.payload["data"]
+        raise last_error if last_error is not None else RuntimeError_(
+            f"no source for object {oid.short()}")
+
+    def remote_write(self, oid: ObjectID, offset: int, data: bytes,
+                     holder: Optional[str] = None):
+        """Process: demand-write a range of a remote object."""
+        source = holder if holder is not None else self.runtime.nearest_holder(oid, self.name)
+        req_id, future = self._new_future()
+        self.host.send(Packet(
+            kind=m.KIND_WRITE_REQ, src=self.name, dst=source, oid=oid,
+            payload={"req_id": req_id, "offset": offset, "data": data},
+            payload_bytes=m.READ_REQ_BYTES + len(data),
+        ))
+        reply = yield future
+        if not reply.payload["ok"]:
+            raise RuntimeError_(f"{source} could not serve write of {oid.short()}")
+        self.tracer.count("node.remote_write")
+        return True
+
+    def __repr__(self) -> str:
+        return f"<ClusterNode {self.name} objects={len(self.space)} jobs={self.active_jobs}>"
+
+
+class ExecutionContext:
+    """What mobile code sees while running on a node.
+
+    Every operation returns a *waitable process* — code yields it and
+    receives the value.  Local accesses complete at the current
+    simulation instant; remote ones cost real (simulated) round trips,
+    which is how the demand-paging experiments measure stalls.
+    """
+
+    def __init__(self, node: ClusterNode):
+        self.node = node
+        self.remote_reads = 0
+        self.local_reads = 0
+
+    @property
+    def here(self) -> str:
+        """Name of the node this context executes on."""
+        return self.node.name
+
+    def read(self, ref: GlobalRef, offset: int = 0, length: int = 64):
+        """Waitable: read bytes at ``ref.offset + offset``."""
+        return self.node.sim.spawn(
+            self._read(ref, offset, length), name=f"ctx-read-{self.node.name}")
+
+    def _read(self, ref: GlobalRef, offset: int, length: int):
+        if not ref.readable:
+            raise RuntimeError_(f"reference {ref} is not readable here")
+        # ACL check: the executing node is the principal.
+        self.node.runtime.policies.check_read(ref.oid, self.node.name)
+        at = ref.offset + offset
+        if ref.oid in self.node.space:
+            self.local_reads += 1
+            yield Timeout(0.0)
+            return self.node.space.get(ref.oid).read(at, length)
+        self.remote_reads += 1
+        data = yield from self.node.remote_read(ref.oid, at, length)
+        return data
+
+    def write(self, ref: GlobalRef, data: bytes, offset: int = 0):
+        """Waitable: write bytes at ``ref.offset + offset``."""
+        return self.node.sim.spawn(
+            self._write(ref, data, offset), name=f"ctx-write-{self.node.name}")
+
+    def _write(self, ref: GlobalRef, data: bytes, offset: int):
+        if not ref.writable:
+            raise RuntimeError_(f"reference {ref} is not writable")
+        self.node.runtime.policies.check_write(ref.oid, self.node.name)
+        at = ref.offset + offset
+        if ref.oid in self.node.space:
+            self.local_reads += 1
+            yield Timeout(0.0)
+            self.node.space.get(ref.oid).write(at, data)
+            return True
+        self.remote_reads += 1
+        ok = yield from self.node.remote_write(ref.oid, at, data)
+        return ok
+
+    def follow(self, ref: GlobalRef, pointer_offset: int = 0):
+        """Waitable: load the invariant pointer stored at ``ref`` (+offset)
+        and resolve it to a new :class:`GlobalRef`."""
+        return self.node.sim.spawn(
+            self._follow(ref, pointer_offset), name=f"ctx-follow-{self.node.name}")
+
+    def _follow(self, ref: GlobalRef, pointer_offset: int):
+        from ..core.pointers import InvariantPointer
+
+        raw = yield self.read(ref, pointer_offset, 8)
+        pointer = InvariantPointer.from_bytes(raw)
+        if pointer.is_null:
+            return None
+        if pointer.is_internal:
+            return GlobalRef(ref.oid, pointer.offset, ref.mode)
+        # External pointer: the FOT lives with the object, so resolve it
+        # where the object is (locally if resident, else ask the holder's
+        # copy via a fetch of the FOT — modelled as a local FOT lookup on
+        # whichever replica we can see through the runtime).
+        obj = self.node.space.try_get(ref.oid)
+        if obj is None:
+            obj = self.node.runtime.peek_object(ref.oid)
+        target_oid, target_offset = obj.resolve(pointer)
+        return GlobalRef(target_oid, target_offset, ref.mode)
+
+    def ensure_local(self, ref: GlobalRef):
+        """Waitable: fetch the whole referenced object here (eager path)."""
+        return self.node.sim.spawn(
+            self.node.fetch_object(ref.oid), name=f"ctx-fetch-{self.node.name}")
+
+    def local_object(self, ref: GlobalRef) -> MemObject:
+        """Direct access to a resident object (raises if non-resident)."""
+        if ref.oid not in self.node.space:
+            raise RuntimeError_(f"object {ref.oid.short()} not resident on {self.here}")
+        return self.node.space.get(ref.oid)

@@ -1,0 +1,48 @@
+"""Discrete-event simulation kernel for the reproduction.
+
+Exports the event loop (:class:`Simulator`), process machinery, the
+synchronization primitives used throughout the network substrate, and the
+measurement helpers the benchmark harness reads its numbers from.
+"""
+
+from .loop import (
+    MSEC,
+    SEC,
+    USEC,
+    AllOf,
+    AnyOf,
+    Interrupt,
+    Process,
+    ScheduledEvent,
+    Signal,
+    SimError,
+    Simulator,
+    Timeout,
+)
+from .primitives import Future, Latch, Resource, Store
+from .trace import Counter, SampleSeries, Summary, Tracer, percentile, summarize
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "Timeout",
+    "Signal",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "ScheduledEvent",
+    "SimError",
+    "Store",
+    "Resource",
+    "Future",
+    "Latch",
+    "Counter",
+    "SampleSeries",
+    "Summary",
+    "Tracer",
+    "summarize",
+    "percentile",
+    "USEC",
+    "MSEC",
+    "SEC",
+]

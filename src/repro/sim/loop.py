@@ -1,0 +1,424 @@
+"""Deterministic discrete-event simulation kernel.
+
+The entire reproduction runs on simulated time: network links, switches,
+hosts, discovery protocols, and placement engines are all processes driven
+by a single :class:`Simulator`.  Time is measured in *microseconds* (float)
+to match the units the paper reports in Figures 2 and 3.
+
+The kernel is deliberately small and dependency-free: a binary heap of
+scheduled callbacks, plus generator-based processes in the style of SimPy.
+Determinism matters more than raw speed here — every experiment must be
+exactly reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Simulator",
+    "ScheduledEvent",
+    "Process",
+    "Timeout",
+    "Signal",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimError",
+]
+
+# Microsecond helpers: the simulation clock unit is 1.0 == 1 microsecond.
+USEC = 1.0
+MSEC = 1_000.0
+SEC = 1_000_000.0
+
+
+class SimError(Exception):
+    """Base class for simulation kernel errors."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class ScheduledEvent:
+    """A cancellable callback scheduled at an absolute simulation time."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Waitable:
+    """Base class for things a process may ``yield`` on.
+
+    Subclasses implement :meth:`_subscribe`, which must arrange for
+    ``process._resume(value)`` (or ``process._throw(exc)``) to be called
+    exactly once when the waitable completes.
+    """
+
+    def _subscribe(self, sim: "Simulator", process: "Process") -> None:
+        raise NotImplementedError
+
+
+class Timeout(Waitable):
+    """Resume the yielding process after ``delay`` simulated microseconds."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None):
+        if delay < 0:
+            raise SimError(f"negative timeout: {delay}")
+        self.delay = delay
+        self.value = value
+
+    def _subscribe(self, sim: "Simulator", process: "Process") -> None:
+        handle = sim.schedule(self.delay, process._resume, self.value)
+        process._pending_handle = handle
+
+
+class Signal(Waitable):
+    """A one-shot or repeating broadcast event processes can wait on.
+
+    ``trigger(value)`` wakes every currently-waiting process with ``value``.
+    A Signal may be triggered repeatedly; each trigger wakes the waiters
+    registered since the previous trigger.
+    """
+
+    __slots__ = ("_sim", "_waiters", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self._sim = sim
+        self._waiters: List[Process] = []
+        self.name = name
+
+    def _subscribe(self, sim: "Simulator", process: "Process") -> None:
+        self._waiters.append(process)
+
+    def trigger(self, value: Any = None) -> int:
+        """Wake all waiting processes; returns the number woken."""
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self._sim.schedule(0.0, proc._resume, value)
+        return len(waiters)
+
+    def fail(self, exc: BaseException) -> int:
+        """Wake all waiting processes by raising ``exc`` inside them."""
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self._sim.schedule(0.0, proc._throw, exc)
+        return len(waiters)
+
+    @property
+    def waiter_count(self) -> int:
+        """Processes currently waiting on this signal."""
+        return len(self._waiters)
+
+
+class AllOf(Waitable):
+    """Wait until every child waitable has completed.
+
+    Resumes with a list of child results in the order given.  Children must
+    be :class:`Process` or :class:`Timeout` instances (things that complete
+    exactly once).
+    """
+
+    def __init__(self, children: Iterable[Waitable]):
+        self.children = list(children)
+
+    def _subscribe(self, sim: "Simulator", process: "Process") -> None:
+        results: List[Any] = [None] * len(self.children)
+        remaining = [len(self.children)]
+        if not self.children:
+            sim.schedule(0.0, process._resume, [])
+            return
+
+        def make_collector(index: int) -> Callable[[Any], None]:
+            def collect(value: Any) -> None:
+                results[index] = value
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    process._resume(results)
+
+            return collect
+
+        for i, child in enumerate(self.children):
+            _subscribe_callback(sim, child, make_collector(i))
+
+
+class AnyOf(Waitable):
+    """Wait until the first child completes; resumes with (index, value)."""
+
+    def __init__(self, children: Iterable[Waitable]):
+        self.children = list(children)
+        if not self.children:
+            raise SimError("AnyOf requires at least one child")
+
+    def _subscribe(self, sim: "Simulator", process: "Process") -> None:
+        done = [False]
+        shims: List[_CallbackShim] = []
+
+        def make_collector(index: int) -> Callable[[Any], None]:
+            def collect(value: Any) -> None:
+                if not done[0]:
+                    done[0] = True
+                    # Cancel losing timers so a raced Timeout does not
+                    # linger in the event heap (it would otherwise keep
+                    # the simulation "busy" until the timeout horizon).
+                    for shim in shims:
+                        if shim._pending_handle is not None:
+                            shim._pending_handle.cancel()
+                    process._resume((index, value))
+
+            return collect
+
+        for i, child in enumerate(self.children):
+            shims.append(_subscribe_callback(sim, child, make_collector(i)))
+
+
+def _subscribe_callback(sim: "Simulator", child: Waitable,
+                        callback: Callable[[Any], None]) -> "_CallbackShim":
+    """Attach a plain callback to a child waitable (used by combinators).
+
+    Works for any waitable because ``_subscribe`` implementations only
+    ever call ``process._resume(value)`` / ``process._throw(exc)`` (or
+    schedule them), which the shim below also provides.  Failures of a
+    child inside a combinator surface as a ``(value=exception)`` resume —
+    combinator users race successes, not errors.  Returns the shim so
+    callers can cancel a pending timer it may hold.
+    """
+    shim = _CallbackShim(callback)
+    child._subscribe(sim, shim)  # type: ignore[arg-type]
+    return shim
+
+
+class _CallbackShim:
+    """Quacks like a Process for waitable wake-ups: runs a callback."""
+
+    __slots__ = ("_callback", "_pending_handle", "finished")
+
+    def __init__(self, callback: Callable[[Any], None]):
+        self._callback = callback
+        self._pending_handle = None
+        self.finished = False
+
+    def _resume(self, value: Any) -> None:
+        self._callback(value)
+
+    def _throw(self, exc: BaseException) -> None:
+        self._callback(exc)
+
+
+class Process(Waitable):
+    """A generator-based simulated process.
+
+    The generator yields :class:`Waitable` objects; each yield suspends the
+    process until the waitable completes, and the waitable's value becomes
+    the result of the yield expression.  A ``return value`` inside the
+    generator becomes :attr:`result` and is delivered to any process
+    waiting on this one.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        self.sim = sim
+        self.gen = gen
+        self.pid = next(Process._ids)
+        self.name = name or getattr(gen, "__name__", f"proc-{self.pid}")
+        self.finished = False
+        self.failed: Optional[BaseException] = None
+        self.result: Any = None
+        self._completion_callbacks: List[Callable[[Any], None]] = []
+        self._waiting_procs: List[Process] = []
+        self._pending_handle: Optional[ScheduledEvent] = None
+
+    # -- waitable protocol -------------------------------------------------
+    def _subscribe(self, sim: "Simulator", process: "Process") -> None:
+        if self.finished:
+            if self.failed is not None:
+                sim.schedule(0.0, process._throw, self.failed)
+            else:
+                sim.schedule(0.0, process._resume, self.result)
+        else:
+            self._waiting_procs.append(process)
+
+    # -- lifecycle ---------------------------------------------------------
+    def _step(self, send_value: Any = None, throw_exc: Optional[BaseException] = None) -> None:
+        self._pending_handle = None
+        try:
+            if throw_exc is not None:
+                target = self.gen.throw(throw_exc)
+            else:
+                target = self.gen.send(send_value)
+        except StopIteration as stop:
+            self._finish(getattr(stop, "value", None))
+            return
+        except Exception as exc:
+            self._fail(exc)
+            return
+        if not isinstance(target, Waitable):
+            self._fail(SimError(f"process {self.name} yielded non-waitable {target!r}"))
+            return
+        target._subscribe(self.sim, self)
+
+    def _resume(self, value: Any) -> None:
+        if not self.finished:
+            self._step(send_value=value)
+
+    def _throw(self, exc: BaseException) -> None:
+        if not self.finished:
+            self._step(throw_exc=exc)
+
+    def _finish(self, result: Any) -> None:
+        self.finished = True
+        self.result = result
+        for proc in self._waiting_procs:
+            self.sim.schedule(0.0, proc._resume, result)
+        for callback in self._completion_callbacks:
+            self.sim.schedule(0.0, callback, result)
+        self._waiting_procs = []
+        self._completion_callbacks = []
+
+    def _fail(self, exc: BaseException) -> None:
+        self.finished = True
+        self.failed = exc
+        if not self._waiting_procs and not self._completion_callbacks:
+            # No one is waiting: surface the failure instead of losing it.
+            self.sim._crashed_processes.append(self)
+            return
+        for proc in self._waiting_procs:
+            self.sim.schedule(0.0, proc._throw, exc)
+        for callback in self._completion_callbacks:
+            self.sim.schedule(0.0, callback, None)
+        self._waiting_procs = []
+        self._completion_callbacks = []
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`Interrupt` inside the process at its current yield."""
+        if self.finished:
+            return
+        if self._pending_handle is not None:
+            self._pending_handle.cancel()
+        self.sim.schedule(0.0, self._throw, Interrupt(cause))
+
+    def __repr__(self) -> str:
+        state = "done" if self.finished else "running"
+        return f"<Process {self.name} pid={self.pid} {state}>"
+
+
+class Simulator:
+    """The event loop: a clock, a heap of callbacks, and a seeded RNG."""
+
+    def __init__(self, seed: int = 0):
+        self.now: float = 0.0
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self._heap: List[ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._crashed_processes: List[Process] = []
+
+    # -- scheduling --------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable, *args: Any) -> ScheduledEvent:
+        """Run ``callback(*args)`` after ``delay`` simulated microseconds."""
+        if delay < 0:
+            raise SimError(f"cannot schedule in the past (delay={delay})")
+        event = ScheduledEvent(self.now + delay, next(self._seq), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable, *args: Any) -> ScheduledEvent:
+        """Run ``callback(*args)`` at absolute simulated time ``time``."""
+        return self.schedule(time - self.now, callback, *args)
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Start a new process from a generator; it takes its first step
+        at the current simulation time (via a zero-delay event)."""
+        process = Process(self, gen, name=name)
+        self.schedule(0.0, process._step)
+        return process
+
+    def signal(self, name: str = "") -> Signal:
+        """Create a :class:`Signal` bound to this simulator."""
+        return Signal(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` bound to this simulator."""
+        return Timeout(delay, value)
+
+    # -- execution ---------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
+        """Run until the heap drains or the clock passes ``until``.
+
+        Returns the final simulation time.  Raises if any process died
+        with an unhandled exception and nobody was waiting on it.
+        """
+        processed = 0
+        while self._heap:
+            event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and event.time > until:
+                self.now = until
+                break
+            heapq.heappop(self._heap)
+            self.now = event.time
+            event.callback(*event.args)
+            processed += 1
+            if processed > max_events:
+                raise SimError(f"exceeded max_events={max_events}; runaway simulation?")
+            if self._crashed_processes:
+                crashed = self._crashed_processes[0]
+                raise SimError(
+                    f"process {crashed.name!r} crashed at t={self.now:.3f}us"
+                ) from crashed.failed
+        else:
+            if until is not None:
+                self.now = max(self.now, until)
+        return self.now
+
+    def run_process(self, gen: Generator, name: str = "", until: Optional[float] = None) -> Any:
+        """Spawn ``gen``, run the simulation, and return the process result.
+
+        Convenience for tests and benchmarks: raises the process's own
+        exception if it failed.
+        """
+        process = self.spawn(gen, name=name)
+        self.run(until=until)
+        if process.failed is not None:
+            raise process.failed
+        if not process.finished:
+            raise SimError(f"process {process.name!r} did not finish by t={self.now}")
+        return process.result
+
+    @property
+    def pending_event_count(self) -> int:
+        """Scheduled events not yet fired or cancelled."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __repr__(self) -> str:
+        return f"<Simulator t={self.now:.3f}us pending={self.pending_event_count}>"

@@ -1,0 +1,185 @@
+"""Measurement utilities: counters, latency samples, and event traces.
+
+Every experiment in the benchmark harness reads its numbers from these
+collectors rather than from ad-hoc prints, so the same instrumentation
+feeds the unit tests and the figure-regeneration benches.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["Counter", "SampleSeries", "Tracer", "summarize", "percentile"]
+
+
+def percentile(values: List[float], pct: float) -> float:
+    """Nearest-rank percentile of ``values`` (``pct`` in [0, 100])."""
+    if not values:
+        raise ValueError("percentile of empty series")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile out of range: {pct}")
+    ordered = sorted(values)
+    if pct == 0.0:
+        return ordered[0]
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass
+class Summary:
+    """Five-number-ish summary of a latency/size series."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Snapshot as a plain dictionary."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "stdev": self.stdev,
+            "min": self.minimum,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.maximum,
+        }
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Compute a :class:`Summary` of an iterable of samples."""
+    data = list(values)
+    if not data:
+        raise ValueError("cannot summarize empty series")
+    n = len(data)
+    mean = sum(data) / n
+    variance = sum((x - mean) ** 2 for x in data) / n
+    return Summary(
+        count=n,
+        mean=mean,
+        stdev=math.sqrt(variance),
+        minimum=min(data),
+        p50=percentile(data, 50),
+        p95=percentile(data, 95),
+        p99=percentile(data, 99),
+        maximum=max(data),
+    )
+
+
+class Counter:
+    """A named bag of monotonically increasing integer counters."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = defaultdict(int)
+
+    def incr(self, key: str, amount: int = 1) -> None:
+        """Add ``amount`` (non-negative) to ``key``."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be non-negative: {amount}")
+        self._counts[key] += amount
+
+    def get(self, key: str) -> int:
+        """Return the stored value for ``key`` (0/None when absent)."""
+        return self._counts.get(key, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Snapshot as a plain dictionary."""
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        """Clear all recorded state."""
+        self._counts.clear()
+
+    def __getitem__(self, key: str) -> int:
+        return self.get(key)
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
+        return f"Counter({body})"
+
+
+class SampleSeries:
+    """A named collection of float samples, optionally timestamped."""
+
+    def __init__(self) -> None:
+        self._samples: Dict[str, List[float]] = defaultdict(list)
+        self._stamped: Dict[str, List[Tuple[float, float]]] = defaultdict(list)
+
+    def record(self, key: str, value: float, time: Optional[float] = None) -> None:
+        """Append one sample (optionally timestamped)."""
+        self._samples[key].append(value)
+        if time is not None:
+            self._stamped[key].append((time, value))
+
+    def samples(self, key: str) -> List[float]:
+        """Recorded samples for ``key`` (a copy)."""
+        return list(self._samples.get(key, []))
+
+    def timeline(self, key: str) -> List[Tuple[float, float]]:
+        """(time, value) pairs recorded for ``key``."""
+        return list(self._stamped.get(key, []))
+
+    def summary(self, key: str) -> Summary:
+        """Statistical summary of ``key``'s samples."""
+        return summarize(self._samples.get(key, []))
+
+    def keys(self) -> List[str]:
+        """Sorted recorded keys."""
+        return sorted(self._samples.keys())
+
+    def reset(self) -> None:
+        """Clear all recorded state."""
+        self._samples.clear()
+        self._stamped.clear()
+
+
+@dataclass
+class TraceEvent:
+    """One structured trace record (time, category, payload)."""
+
+    time: float
+    category: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Combined counters + samples + optional structured event log.
+
+    Each network node and protocol layer owns (or shares) a Tracer; the
+    benchmark harness interrogates it after the run.
+    """
+
+    def __init__(self, keep_events: bool = False) -> None:
+        self.counters = Counter()
+        self.series = SampleSeries()
+        self.keep_events = keep_events
+        self.events: List[TraceEvent] = []
+
+    def count(self, key: str, amount: int = 1) -> None:
+        """Increment the named counter."""
+        self.counters.incr(key, amount)
+
+    def sample(self, key: str, value: float, time: Optional[float] = None) -> None:
+        """Record one sample under ``key``."""
+        self.series.record(key, value, time)
+
+    def event(self, time: float, category: str, **detail: Any) -> None:
+        """Record a structured trace event."""
+        self.counters.incr(f"event.{category}")
+        if self.keep_events:
+            self.events.append(TraceEvent(time, category, detail))
+
+    def reset(self) -> None:
+        """Clear all recorded state."""
+        self.counters.reset()
+        self.series.reset()
+        self.events.clear()

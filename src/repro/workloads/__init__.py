@@ -1,0 +1,46 @@
+"""Workloads: the paper's motivating applications, runnable over both
+the RPC baseline and the global object space."""
+
+from .inference import (
+    Activation,
+    ModelPartition,
+    SparseModel,
+    dot_product,
+    partition_flops,
+    personalize,
+    read_partition_object,
+    write_partition_object,
+)
+from .kvstore import ObjectKVClient, ObjectKVService, RpcKVClient, RpcKVService
+from .patterns import hot_cold, sequential_sweep, uniform, zipf, zipf_weights
+from .scenario import STRATEGIES, Scenario, StrategyResult, build_scenario, run_strategy
+from .traversal import LIST_NODE, build_linked_list, local_traverse, register_traversal
+
+__all__ = [
+    "ModelPartition",
+    "SparseModel",
+    "Activation",
+    "dot_product",
+    "partition_flops",
+    "personalize",
+    "write_partition_object",
+    "read_partition_object",
+    "RpcKVService",
+    "RpcKVClient",
+    "ObjectKVService",
+    "ObjectKVClient",
+    "LIST_NODE",
+    "build_linked_list",
+    "local_traverse",
+    "register_traversal",
+    "Scenario",
+    "StrategyResult",
+    "build_scenario",
+    "run_strategy",
+    "STRATEGIES",
+    "uniform",
+    "zipf",
+    "zipf_weights",
+    "hot_cold",
+    "sequential_sweep",
+]

@@ -1,0 +1,83 @@
+"""Access-pattern generators for workload drivers.
+
+Discovery-scheme economics depend on the access distribution: a uniform
+workload touches every object equally (worst case for small switch
+tables), while real object populations are heavily skewed — a small hot
+set absorbs most accesses, which is exactly what makes partial
+identity-table coverage effective (benchmark E12h's skewed variant).
+
+All generators are deterministic given their ``random.Random``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from typing import Iterator, List, Sequence, TypeVar
+
+__all__ = ["uniform", "zipf", "hot_cold", "sequential_sweep", "zipf_weights"]
+
+T = TypeVar("T")
+
+
+def uniform(items: Sequence[T], rng: random.Random) -> Iterator[T]:
+    """Every item equally likely, forever."""
+    if not items:
+        raise ValueError("need at least one item")
+    while True:
+        yield rng.choice(items)
+
+
+def zipf_weights(n: int, skew: float = 1.0) -> List[float]:
+    """Zipf popularity weights for ranks 1..n: weight(r) = 1 / r^skew."""
+    if n <= 0:
+        raise ValueError("need a positive population")
+    if skew < 0:
+        raise ValueError("skew must be non-negative")
+    return [1.0 / (rank ** skew) for rank in range(1, n + 1)]
+
+
+def zipf(items: Sequence[T], rng: random.Random,
+         skew: float = 1.0) -> Iterator[T]:
+    """Zipf-distributed accesses: ``items[0]`` is the most popular.
+
+    ``skew=0`` degenerates to uniform; ``skew~1`` is the classic web/KV
+    popularity curve.
+    """
+    weights = zipf_weights(len(items), skew)
+    cumulative = list(itertools.accumulate(weights))
+    total = cumulative[-1]
+    while True:
+        point = rng.random() * total
+        yield items[bisect.bisect_left(cumulative, point)]
+
+
+def hot_cold(items: Sequence[T], rng: random.Random,
+             hot_fraction: float = 0.1,
+             hot_probability: float = 0.9) -> Iterator[T]:
+    """A two-tier skew: ``hot_probability`` of accesses hit the first
+    ``hot_fraction`` of items."""
+    if not items:
+        raise ValueError("need at least one item")
+    if not 0.0 < hot_fraction <= 1.0:
+        raise ValueError("hot_fraction must be in (0, 1]")
+    if not 0.0 <= hot_probability <= 1.0:
+        raise ValueError("hot_probability must be in [0, 1]")
+    split = max(1, int(len(items) * hot_fraction))
+    hot, cold = items[:split], items[split:]
+    while True:
+        if not cold or rng.random() < hot_probability:
+            yield rng.choice(hot)
+        else:
+            yield rng.choice(cold)
+
+
+def sequential_sweep(items: Sequence[T]) -> Iterator[T]:
+    """Round-robin over the population — the scan/defrag pattern that
+    defeats every cache."""
+    if not items:
+        raise ValueError("need at least one item")
+    while True:
+        for item in items:
+            yield item

@@ -1,0 +1,16 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    """A fresh seeded simulator per test."""
+    return Simulator(seed=1234)
+
+
+def run(sim, gen, until=None):
+    """Convenience: drive a generator process to completion."""
+    return sim.run_process(gen, until=until)

@@ -1,0 +1,160 @@
+"""Unit tests for FOTs and 64-bit invariant pointers."""
+
+import pytest
+
+from repro.core import (
+    FLAG_READ,
+    FLAG_WRITE,
+    FOT,
+    FOTEntry,
+    FOTError,
+    InvariantPointer,
+    MAX_FOT_INDEX,
+    MAX_OFFSET,
+    ObjectID,
+    PointerError,
+)
+
+
+class TestFOT:
+    def test_add_returns_index_from_one(self):
+        fot = FOT()
+        index = fot.add(ObjectID(100))
+        assert index == 1
+
+    def test_add_deduplicates(self):
+        fot = FOT()
+        first = fot.add(ObjectID(100))
+        second = fot.add(ObjectID(100))
+        assert first == second
+        assert len(fot) == 1
+
+    def test_same_target_different_flags_gets_new_slot(self):
+        fot = FOT()
+        a = fot.add(ObjectID(100), FLAG_READ)
+        b = fot.add(ObjectID(100), FLAG_READ | FLAG_WRITE)
+        assert a != b
+
+    def test_lookup(self):
+        fot = FOT()
+        index = fot.add(ObjectID(55), FLAG_READ)
+        entry = fot.lookup(index)
+        assert entry.target == ObjectID(55)
+        assert entry.readable and not entry.writable
+
+    def test_lookup_index_zero_rejected(self):
+        with pytest.raises(FOTError):
+            FOT().lookup(0)
+
+    def test_lookup_out_of_range(self):
+        with pytest.raises(FOTError):
+            FOT().lookup(3)
+
+    def test_null_target_rejected(self):
+        from repro.core import NULL_ID
+
+        with pytest.raises(FOTError):
+            FOT().add(NULL_ID)
+
+    def test_capacity_limit(self):
+        fot = FOT(max_entries=3)  # slot 0 + 2 externals
+        fot.add(ObjectID(1))
+        fot.add(ObjectID(2))
+        with pytest.raises(FOTError):
+            fot.add(ObjectID(3))
+
+    def test_targets_deduplicated(self):
+        fot = FOT()
+        fot.add(ObjectID(1), FLAG_READ)
+        fot.add(ObjectID(1), FLAG_WRITE)
+        fot.add(ObjectID(2))
+        assert fot.targets() == [ObjectID(1), ObjectID(2)]
+
+    def test_bytes_roundtrip(self):
+        fot = FOT()
+        fot.add(ObjectID(11), FLAG_READ)
+        fot.add(ObjectID(22))
+        rebuilt = FOT.from_bytes(fot.to_bytes())
+        assert rebuilt == fot
+
+    def test_from_bytes_rejects_truncation(self):
+        fot = FOT()
+        fot.add(ObjectID(11))
+        raw = fot.to_bytes()
+        with pytest.raises(FOTError):
+            FOT.from_bytes(raw[:-1])
+
+    def test_clone_is_independent(self):
+        fot = FOT()
+        fot.add(ObjectID(1))
+        twin = fot.clone()
+        twin.add(ObjectID(2))
+        assert len(fot) == 1
+        assert len(twin) == 2
+
+    def test_iteration_skips_self_slot(self):
+        fot = FOT()
+        fot.add(ObjectID(9))
+        entries = list(fot)
+        assert len(entries) == 1
+        assert isinstance(entries[0], FOTEntry)
+
+
+class TestInvariantPointer:
+    def test_internal_pointer(self):
+        pointer = InvariantPointer.internal(0x40)
+        assert pointer.is_internal
+        assert not pointer.is_external
+        assert pointer.offset == 0x40
+
+    def test_external_pointer(self):
+        pointer = InvariantPointer.external(3, 0x100)
+        assert pointer.is_external
+        assert pointer.fot_index == 3
+
+    def test_external_requires_positive_index(self):
+        with pytest.raises(PointerError):
+            InvariantPointer.external(0, 0x10)
+
+    def test_null_pointer(self):
+        null = InvariantPointer.null()
+        assert null.is_null
+        assert not null.is_internal
+        assert not null.is_external
+
+    def test_raw_encoding_is_64_bits(self):
+        pointer = InvariantPointer(MAX_FOT_INDEX, MAX_OFFSET)
+        assert pointer.raw < (1 << 64)
+        assert InvariantPointer.from_raw(pointer.raw) == pointer
+
+    def test_bytes_roundtrip(self):
+        pointer = InvariantPointer.external(7, 12345)
+        assert InvariantPointer.from_bytes(pointer.to_bytes()) == pointer
+        assert len(pointer.to_bytes()) == 8
+
+    def test_offset_bounds(self):
+        with pytest.raises(PointerError):
+            InvariantPointer(0, MAX_OFFSET + 1)
+
+    def test_index_bounds(self):
+        with pytest.raises(PointerError):
+            InvariantPointer(MAX_FOT_INDEX + 1, 0)
+
+    def test_from_raw_bounds(self):
+        with pytest.raises(PointerError):
+            InvariantPointer.from_raw(1 << 64)
+
+    def test_with_offset(self):
+        pointer = InvariantPointer.external(2, 100)
+        moved = pointer.with_offset(200)
+        assert moved.fot_index == 2
+        assert moved.offset == 200
+
+    def test_from_bytes_wrong_length(self):
+        with pytest.raises(PointerError):
+            InvariantPointer.from_bytes(b"\x00" * 7)
+
+    def test_encoding_layout(self):
+        # fot_index occupies the top 16 bits, offset the low 48.
+        pointer = InvariantPointer(1, 1)
+        assert pointer.raw == (1 << 48) | 1

@@ -1,0 +1,30 @@
+"""Smoke-run every example script: each must complete and print its
+narrative (the examples carry their own internal assertions)."""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_to_completion(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script} printed nothing"
+
+
+def test_expected_example_set_present():
+    assert {
+        "quickstart.py",
+        "distributed_inference.py",
+        "object_discovery.py",
+        "graph_traversal.py",
+        "pubsub_telemetry.py",
+        "crdt_replication.py",
+        "private_models.py",
+    } <= set(EXAMPLES)

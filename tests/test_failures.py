@@ -1,0 +1,209 @@
+"""Failure injection: partial failure, the §5 'foremost' challenge.
+
+"Perhaps foremost among them is the tension between partial failure
+(inevitable in any distributed system), fault tolerance, and mechanisms
+that attempt to hide the movement of computation and data."
+"""
+
+import pytest
+
+from repro.core import FunctionRegistry, GlobalRef, IDAllocator, ObjectSpace
+from repro.discovery import E2EResolver, ObjectHome
+from repro.net import build_paper_topology, build_star
+from repro.runtime import GlobalSpaceRuntime, RuntimeError_
+from repro.sim import Simulator, Timeout
+
+
+class TestHostFailure:
+    def test_failed_host_drops_traffic(self):
+        sim = Simulator(seed=1)
+        net = build_star(sim, 2)
+        got = []
+        net.host("h1").on("m", lambda p: got.append(p))
+        net.host("h1").fail()
+
+        def proc():
+            from repro.net import Packet
+
+            net.host("h0").send(Packet(kind="m", src="h0", dst="h1"))
+            yield Timeout(100)
+
+        sim.run_process(proc())
+        assert got == []
+        assert net.host("h1").tracer.counters["host.dropped_while_failed"] == 1
+
+    def test_failed_host_sends_nothing(self):
+        sim = Simulator(seed=2)
+        net = build_star(sim, 2)
+        net.host("h0").fail()
+
+        def proc():
+            from repro.net import Packet
+
+            net.host("h0").send(Packet(kind="m", src="h0", dst="h1"))
+            yield Timeout(100)
+
+        sim.run_process(proc())
+        assert net.host("h1").tracer.counters["host.rx"] == 0
+
+    def test_recovery_restores_traffic(self):
+        sim = Simulator(seed=3)
+        net = build_star(sim, 2)
+        got = []
+        net.host("h1").on("m", lambda p: got.append(p))
+
+        def proc():
+            from repro.net import Packet
+
+            net.host("h1").fail()
+            net.host("h0").send(Packet(kind="m", src="h0", dst="h1"))
+            yield Timeout(100)
+            net.host("h1").recover()
+            net.host("h0").send(Packet(kind="m", src="h0", dst="h1"))
+            yield Timeout(100)
+
+        sim.run_process(proc())
+        assert len(got) == 1
+
+
+class TestDiscoveryUnderFailure:
+    def test_e2e_access_to_dead_responder_fails_cleanly(self):
+        sim = Simulator(seed=4)
+        net = build_paper_topology(sim)
+        allocator = IDAllocator(seed=5)
+        home = ObjectHome(net.host("resp1"),
+                          ObjectSpace(allocator, host_name="resp1"))
+        resolver = E2EResolver(net.host("driver"), timeout_us=1_000.0,
+                               max_retries=2)
+        obj = home.space.create_object(size=256)
+        net.host("resp1").fail()
+
+        def proc():
+            record = yield sim.spawn(resolver.access(obj.oid))
+            return record
+
+        record = sim.run_process(proc())
+        assert not record.ok
+        assert resolver.tracer.counters["e2e.timeout"] > 0
+
+    def test_e2e_recovers_after_responder_returns(self):
+        sim = Simulator(seed=6)
+        net = build_paper_topology(sim)
+        allocator = IDAllocator(seed=7)
+        home = ObjectHome(net.host("resp1"),
+                          ObjectSpace(allocator, host_name="resp1"))
+        resolver = E2EResolver(net.host("driver"), timeout_us=1_000.0,
+                               max_retries=2)
+        obj = home.space.create_object(size=256)
+
+        def proc():
+            net.host("resp1").fail()
+            first = yield sim.spawn(resolver.access(obj.oid))
+            net.host("resp1").recover()
+            second = yield sim.spawn(resolver.access(obj.oid))
+            return first, second
+
+        first, second = sim.run_process(proc())
+        assert not first.ok
+        assert second.ok
+
+
+def make_cluster(seed=8):
+    sim = Simulator(seed=seed)
+    net = build_star(sim, 4, prefix="n")
+    registry = FunctionRegistry()
+    runtime = GlobalSpaceRuntime(net, registry)
+    for i in range(4):
+        node = runtime.add_node(f"n{i}")
+        node.request_timeout_us = 2_000.0  # fast failover in tests
+    return sim, net, registry, runtime
+
+
+class TestRuntimeFailover:
+    def test_fetch_fails_over_to_replica(self):
+        sim, net, registry, runtime = make_cluster()
+        obj = runtime.create_object("n1", size=512)
+        obj.write(0, b"replicated")
+        # A replica on n2.
+        runtime.node("n2").space.insert(obj.clone())
+        runtime.note_copy(obj.oid, "n2")
+        net.host("n1").fail()
+
+        def proc():
+            fetched = yield sim.spawn(runtime.node("n0").fetch_object(obj.oid))
+            return fetched.read(0, 10)
+
+        assert sim.run_process(proc()) == b"replicated"
+        # Either the live replica was tried first (equidistant in a
+        # star), or the dead holder timed out once and we failed over.
+        assert runtime.node("n0").tracer.counters["node.fetch_timeout"] <= 1
+
+    def test_fetch_without_replica_raises_after_timeout(self):
+        sim, net, registry, runtime = make_cluster()
+        obj = runtime.create_object("n1", size=512)
+        net.host("n1").fail()
+
+        def proc():
+            try:
+                yield sim.spawn(runtime.node("n0").fetch_object(obj.oid))
+            except RuntimeError_ as exc:
+                return str(exc)
+
+        message = sim.run_process(proc())
+        assert "timed out" in message
+
+    def test_remote_read_fails_over(self):
+        sim, net, registry, runtime = make_cluster()
+        obj = runtime.create_object("n1", size=512)
+        obj.write(0, b"still-here")
+        runtime.node("n3").space.insert(obj.clone())
+        runtime.note_copy(obj.oid, "n3")
+        net.host("n1").fail()
+
+        def proc():
+            data = yield sim.spawn(runtime.node("n0").remote_read(obj.oid, 0, 10))
+            return data
+
+        assert sim.run_process(proc()) == b"still-here"
+
+    def test_invocation_survives_holder_crash_with_replica(self):
+        sim, net, registry, runtime = make_cluster()
+
+        @registry.register("resilient")
+        def resilient(ctx, args):
+            data = yield ctx.read(args["blob"], 0, 4)
+            return data
+
+        obj = runtime.create_object("n1", size=256)
+        obj.write(0, b"SAFE")
+        runtime.node("n2").space.insert(obj.clone())
+        runtime.note_copy(obj.oid, "n2")
+        _, code_ref = runtime.create_code("n0", "resilient", text_size=128)
+        net.host("n1").fail()
+
+        def proc():
+            result = yield sim.spawn(runtime.invoke(
+                "n0", code_ref,
+                data_refs={"blob": GlobalRef(obj.oid, 0, "read")},
+                candidates=["n0", "n2", "n3"]))
+            return result
+
+        result = sim.run_process(proc())
+        assert result.value == b"SAFE"
+
+    def test_pinned_fetch_to_specific_dead_holder_raises(self):
+        sim, net, registry, runtime = make_cluster()
+        obj = runtime.create_object("n1", size=128)
+        runtime.node("n2").space.insert(obj.clone())
+        runtime.note_copy(obj.oid, "n2")
+        net.host("n1").fail()
+
+        def proc():
+            try:
+                # Explicit holder: no failover is attempted.
+                yield sim.spawn(runtime.node("n0").fetch_object(obj.oid,
+                                                                holder="n1"))
+            except RuntimeError_:
+                return "raised"
+
+        assert sim.run_process(proc()) == "raised"

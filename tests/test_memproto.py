@@ -1,0 +1,333 @@
+"""Unit and integration tests for transports and MSI coherence."""
+
+import pytest
+
+from repro.core import IDAllocator
+from repro.memproto import (
+    CACHE_LINE_BYTES,
+    CoherenceAgent,
+    CoherenceError,
+    LightweightTransport,
+    PERM_MODIFIED,
+    PERM_SHARED,
+    TcpLikeTransport,
+    TransportError,
+    read_request,
+    read_response,
+    write_ack,
+    write_request,
+)
+from repro.net import build_star
+from repro.sim import Simulator, Timeout
+
+
+class TestMessages:
+    def test_read_request_identity_routed_by_default(self):
+        oid = IDAllocator(seed=1).allocate()
+        packet = read_request("a", oid, 0, 64, req_id=1)
+        assert packet.is_identity_routed
+
+    def test_read_request_can_be_host_addressed(self):
+        oid = IDAllocator(seed=1).allocate()
+        packet = read_request("a", oid, 0, 64, req_id=1, dst="b")
+        assert packet.dst == "b"
+
+    def test_read_response_carries_data(self):
+        oid = IDAllocator(seed=1).allocate()
+        request = read_request("a", oid, 0, 4, req_id=9, dst="b")
+        response = read_response(request, b"data", responder="b")
+        assert response.dst == "a"
+        assert response.payload["req_id"] == 9
+        assert response.payload_bytes >= 4
+
+    def test_write_roundtrip_fields(self):
+        oid = IDAllocator(seed=1).allocate()
+        request = write_request("a", oid, 8, b"xy", req_id=2, dst="b")
+        ack = write_ack(request, responder="b")
+        assert request.payload["data"] == b"xy"
+        assert ack.payload["req_id"] == 2
+
+    def test_cache_line_constant(self):
+        assert CACHE_LINE_BYTES == 64
+
+
+def _pair(seed, loss=0.0, transport_cls=LightweightTransport, **kwargs):
+    sim = Simulator(seed=seed)
+    net = build_star(sim, 2, default_loss_rate=loss)
+    tx = transport_cls(net.host("h0"), **kwargs)
+    rx = transport_cls(net.host("h1"), **kwargs)
+    return sim, tx, rx
+
+
+class TestLightweightTransport:
+    def test_in_order_exactly_once_lossless(self):
+        sim, tx, rx = _pair(seed=1)
+        got = []
+        rx.on_deliver(lambda src, payload, size: got.append(payload["i"]))
+
+        def proc():
+            for i in range(20):
+                tx.send("h1", {"i": i}, 64)
+            yield Timeout(100_000)
+
+        sim.run_process(proc())
+        assert got == list(range(20))
+
+    def test_in_order_exactly_once_under_loss(self):
+        sim, tx, rx = _pair(seed=2, loss=0.2)
+        got = []
+        rx.on_deliver(lambda src, payload, size: got.append(payload["i"]))
+
+        def proc():
+            for i in range(40):
+                tx.send("h1", {"i": i}, 64)
+            yield Timeout(500_000)
+
+        sim.run_process(proc())
+        assert got == list(range(40))
+        assert tx.tracer.counters["transport.retransmit"] > 0
+
+    def test_no_retransmissions_without_loss(self):
+        sim, tx, rx = _pair(seed=3)
+        rx.on_deliver(lambda *a: None)
+
+        def proc():
+            for i in range(10):
+                tx.send("h1", {"i": i}, 64)
+            yield Timeout(100_000)
+
+        sim.run_process(proc())
+        assert tx.tracer.counters["transport.retransmit"] == 0
+
+    def test_window_limits_inflight(self):
+        sim, tx, rx = _pair(seed=4, window=4)
+        rx.on_deliver(lambda *a: None)
+        observed = []
+
+        def proc():
+            for i in range(50):
+                tx.send("h1", {"i": i}, 64)
+            observed.append(tx.inflight_count("h1"))
+            yield Timeout(500_000)
+
+        sim.run_process(proc())
+        assert observed[0] <= 4
+        assert tx.backlog_count("h1") == 0  # eventually drained
+
+    def test_delivery_latency_sampled(self):
+        sim, tx, rx = _pair(seed=5)
+        rx.on_deliver(lambda *a: None)
+
+        def proc():
+            tx.send("h1", {"i": 0}, 64)
+            yield Timeout(10_000)
+
+        sim.run_process(proc())
+        assert tx.tracer.series.samples("transport.delivery_us")
+
+    def test_validation(self):
+        sim = Simulator(seed=6)
+        net = build_star(sim, 1)
+        with pytest.raises(TransportError):
+            LightweightTransport(net.host("h0"), window=0)
+
+
+class TestTcpLikeTransport:
+    def test_handshake_happens_once_per_peer(self):
+        sim, tx, rx = _pair(seed=7, transport_cls=TcpLikeTransport)
+        rx.on_deliver(lambda *a: None)
+
+        def proc():
+            for i in range(20):
+                tx.send("h1", {"i": i}, 64)
+            yield Timeout(500_000)
+
+        sim.run_process(proc())
+        assert tx.tracer.counters["transport.handshake"] == 1
+        assert tx.tracer.counters["transport.delivered"] == 0  # we sent, rx got
+        assert rx.tracer.counters["transport.delivered"] == 20
+
+    def test_slow_start_grows_window(self):
+        sim, tx, rx = _pair(seed=8, transport_cls=TcpLikeTransport)
+        rx.on_deliver(lambda *a: None)
+
+        def proc():
+            for i in range(30):
+                tx.send("h1", {"i": i}, 64)
+            yield Timeout(500_000)
+
+        sim.run_process(proc())
+        assert tx._cwnd["h1"] > 1.0
+
+    def test_timeout_collapses_window(self):
+        sim, tx, rx = _pair(seed=9, loss=0.3, transport_cls=TcpLikeTransport)
+        got = []
+        rx.on_deliver(lambda src, payload, size: got.append(payload["i"]))
+
+        def proc():
+            for i in range(30):
+                tx.send("h1", {"i": i}, 64)
+            yield Timeout(2_000_000)
+
+        sim.run_process(proc())
+        assert got == list(range(30))  # still reliable
+        assert tx.tracer.counters["transport.retransmit"] > 0
+
+    def test_lightweight_beats_tcp_for_short_bursts(self):
+        # The §3.2 structural claim: handshake + slow start hurt short
+        # memory-message bursts.
+        def run(transport_cls):
+            sim, tx, rx = _pair(seed=10, transport_cls=transport_cls)
+            done = []
+            rx.on_deliver(lambda src, payload, size: done.append(sim.now))
+
+            def proc():
+                for i in range(16):
+                    tx.send("h1", {"i": i}, 64)
+                yield Timeout(1_000_000)
+
+            sim.run_process(proc())
+            return done[-1]
+
+        assert run(LightweightTransport) < run(TcpLikeTransport)
+
+
+class TestCoherence:
+    def _cluster(self, n=3, seed=11):
+        sim = Simulator(seed=seed)
+        net = build_star(sim, n)
+        home_map = {}
+        agents = {f"h{i}": CoherenceAgent(net.host(f"h{i}"), home_map)
+                  for i in range(n)}
+        oid = IDAllocator(seed=seed).allocate()
+        agents["h0"].host_object(oid, b"0" * 64)
+        return sim, agents, oid
+
+    def test_remote_read_acquires_shared(self):
+        sim, agents, oid = self._cluster()
+
+        def proc():
+            data = yield from agents["h1"].read(oid, 0, 4)
+            return data, agents["h1"].cached_perm(oid)
+
+        data, perm = sim.run_process(proc())
+        assert data == b"0000"
+        assert perm == PERM_SHARED
+
+    def test_second_read_hits_cache(self):
+        sim, agents, oid = self._cluster()
+
+        def proc():
+            yield from agents["h1"].read(oid, 0, 4)
+            yield from agents["h1"].read(oid, 4, 4)
+            return agents["h1"].tracer.counters["coherence.cache_hit"]
+
+        assert sim.run_process(proc()) == 1
+
+    def test_write_invalidates_sharers(self):
+        sim, agents, oid = self._cluster()
+
+        def proc():
+            yield from agents["h1"].read(oid, 0, 4)
+            yield from agents["h2"].write(oid, 0, b"XX")
+            assert agents["h1"].cached_perm(oid) is None  # invalidated
+            data = yield from agents["h1"].read(oid, 0, 2)
+            return data
+
+        assert sim.run_process(proc()) == b"XX"
+
+    def test_dirty_data_recalled_by_probe(self):
+        sim, agents, oid = self._cluster()
+
+        def proc():
+            yield from agents["h2"].write(oid, 0, b"dirty")
+            data = yield from agents["h1"].read(oid, 0, 5)
+            return data
+
+        assert sim.run_process(proc()) == b"dirty"
+
+    def test_home_read_recalls_remote_owner(self):
+        sim, agents, oid = self._cluster()
+
+        def proc():
+            yield from agents["h1"].write(oid, 0, b"ABCD")
+            data = yield from agents["h0"].read(oid, 0, 4)
+            return data
+
+        assert sim.run_process(proc()) == b"ABCD"
+
+    def test_home_write_invalidates_everyone(self):
+        sim, agents, oid = self._cluster()
+
+        def proc():
+            yield from agents["h1"].read(oid, 0, 4)
+            yield from agents["h2"].read(oid, 0, 4)
+            yield from agents["h0"].write(oid, 0, b"HOME")
+            assert agents["h1"].cached_perm(oid) is None
+            assert agents["h2"].cached_perm(oid) is None
+            data = yield from agents["h1"].read(oid, 0, 4)
+            return data
+
+        assert sim.run_process(proc()) == b"HOME"
+
+    def test_voluntary_writeback(self):
+        sim, agents, oid = self._cluster()
+
+        def proc():
+            yield from agents["h1"].write(oid, 0, b"WB")
+            yield from agents["h1"].writeback(oid)
+            assert agents["h1"].cached_perm(oid) is None
+            return agents["h0"].authoritative_data(oid)[:2]
+
+        assert sim.run_process(proc()) == b"WB"
+
+    def test_writeback_without_copy_raises(self):
+        sim, agents, oid = self._cluster()
+
+        def proc():
+            try:
+                yield from agents["h1"].writeback(oid)
+            except CoherenceError:
+                return "raised"
+
+        assert sim.run_process(proc()) == "raised"
+
+    def test_conflicting_writers_serialized(self):
+        sim, agents, oid = self._cluster()
+        order = []
+
+        def writer(agent, tag):
+            yield from agents[agent].write(oid, 0, tag)
+            order.append(tag)
+            return None
+
+        def proc():
+            from repro.sim import AllOf
+
+            yield AllOf([
+                sim.spawn(writer("h1", b"A")),
+                sim.spawn(writer("h2", b"B")),
+            ])
+            final = yield from agents["h0"].read(oid, 0, 1)
+            return final
+
+        final = sim.run_process(proc())
+        assert final in (b"A", b"B")
+        assert len(order) == 2
+
+    def test_double_host_rejected(self):
+        sim, agents, oid = self._cluster()
+        with pytest.raises(CoherenceError):
+            agents["h0"].host_object(oid, b"again")
+
+    def test_unknown_home_rejected(self):
+        sim, agents, _ = self._cluster()
+        ghost = IDAllocator(seed=99).allocate()
+
+        def proc():
+            try:
+                yield from agents["h1"].read(ghost, 0, 4)
+            except CoherenceError:
+                return "raised"
+
+        assert sim.run_process(proc()) == "raised"

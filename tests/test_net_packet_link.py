@@ -1,0 +1,162 @@
+"""Unit tests for packets and links."""
+
+import pytest
+
+from repro.core import ObjectID
+from repro.net import (
+    BROADCAST,
+    HEADER_BYTES,
+    OID_FIELD_BYTES,
+    Link,
+    Packet,
+)
+from repro.net.host import Host
+from repro.sim import Timeout
+
+
+class TestPacket:
+    def test_needs_some_destination(self):
+        with pytest.raises(ValueError):
+            Packet(kind="x", src="a")
+
+    def test_host_addressed(self):
+        packet = Packet(kind="x", src="a", dst="b")
+        assert not packet.is_broadcast
+        assert not packet.is_identity_routed
+
+    def test_broadcast(self):
+        packet = Packet(kind="x", src="a", dst=BROADCAST)
+        assert packet.is_broadcast
+
+    def test_identity_routed(self):
+        packet = Packet(kind="x", src="a", oid=ObjectID(5))
+        assert packet.is_identity_routed
+
+    def test_size_includes_header(self):
+        packet = Packet(kind="x", src="a", dst="b", payload_bytes=100)
+        assert packet.size_bytes == HEADER_BYTES + 100
+
+    def test_size_includes_oid_field(self):
+        plain = Packet(kind="x", src="a", dst="b", payload_bytes=10)
+        with_oid = Packet(kind="x", src="a", dst="b", oid=ObjectID(1), payload_bytes=10)
+        assert with_oid.size_bytes == plain.size_bytes + OID_FIELD_BYTES
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(kind="x", src="a", dst="b", payload_bytes=-1)
+
+    def test_unique_uids(self):
+        a = Packet(kind="x", src="a", dst="b")
+        b = Packet(kind="x", src="a", dst="b")
+        assert a.uid != b.uid
+
+    def test_clone_for_flood_shares_uid_not_counters(self):
+        packet = Packet(kind="x", src="a", dst=BROADCAST, ttl=5)
+        packet.hops = 2
+        twin = packet.clone_for_flood()
+        assert twin.uid == packet.uid
+        assert twin.hops == 2
+        twin.hops += 1
+        twin.ttl -= 1
+        assert packet.hops == 2
+        assert packet.ttl == 5
+
+    def test_reply_targets_source(self):
+        request = Packet(kind="req", src="client", dst="server")
+        reply = request.reply("rsp", {"v": 1}, payload_bytes=8)
+        assert reply.dst == "client"
+        assert reply.src == "server"
+        assert reply.kind == "rsp"
+
+
+class TestLink:
+    def _two_hosts(self, sim, **link_kwargs):
+        a = Host(sim, "a")
+        b = Host(sim, "b")
+        link = Link(sim, a, b, **link_kwargs)
+        return a, b, link
+
+    def test_delivery_after_latency_and_transmission(self, sim):
+        a, b, link = self._two_hosts(sim, bandwidth_gbps=8e-3, latency_us=10.0)
+        # 8 Mbit/s = 1 byte/us; a packet of HEADER+58=100 bytes takes
+        # 100us transmission + 10us propagation.
+        arrivals = []
+        b.on("ping", lambda p: arrivals.append(sim.now))
+
+        def proc():
+            a.send(Packet(kind="ping", src="a", dst="b", payload_bytes=58))
+            yield Timeout(1000)
+
+        sim.run_process(proc())
+        assert arrivals == [pytest.approx(110.0)]
+
+    def test_fifo_queueing_serializes_transmissions(self, sim):
+        a, b, link = self._two_hosts(sim, bandwidth_gbps=8e-3, latency_us=0.0)
+        arrivals = []
+        b.on("ping", lambda p: arrivals.append(sim.now))
+
+        def proc():
+            for _ in range(3):
+                a.send(Packet(kind="ping", src="a", dst="b", payload_bytes=58))
+            yield Timeout(10_000)
+
+        sim.run_process(proc())
+        assert arrivals == [pytest.approx(100.0), pytest.approx(200.0),
+                            pytest.approx(300.0)]
+
+    def test_duplex_is_independent(self, sim):
+        a, b, link = self._two_hosts(sim, latency_us=5.0)
+        got_a, got_b = [], []
+        a.on("x", lambda p: got_a.append(p))
+        b.on("x", lambda p: got_b.append(p))
+
+        def proc():
+            a.send(Packet(kind="x", src="a", dst="b"))
+            b.send(Packet(kind="x", src="b", dst="a"))
+            yield Timeout(100)
+
+        sim.run_process(proc())
+        assert len(got_a) == 1 and len(got_b) == 1
+
+    def test_loss_drops_deterministically(self, sim):
+        a, b, link = self._two_hosts(sim, loss_rate=0.5)
+        arrivals = []
+        b.on("ping", lambda p: arrivals.append(p))
+
+        def proc():
+            for _ in range(100):
+                a.send(Packet(kind="ping", src="a", dst="b"))
+            yield Timeout(100_000)
+
+        sim.run_process(proc())
+        assert 20 < len(arrivals) < 80  # seeded, roughly half
+
+    def test_hops_incremented_on_delivery(self, sim):
+        a, b, link = self._two_hosts(sim)
+        got = []
+        b.on("x", lambda p: got.append(p.hops))
+
+        def proc():
+            a.send(Packet(kind="x", src="a", dst="b"))
+            yield Timeout(100)
+
+        sim.run_process(proc())
+        assert got == [1]
+
+    def test_parameter_validation(self, sim):
+        a = Host(sim, "a")
+        b = Host(sim, "b")
+        with pytest.raises(ValueError):
+            Link(sim, a, b, bandwidth_gbps=0)
+        with pytest.raises(ValueError):
+            Link(sim, a, b, latency_us=-1)
+        with pytest.raises(ValueError):
+            Link(sim, a, b, loss_rate=1.0)
+
+    def test_other_endpoint(self, sim):
+        a, b, link = self._two_hosts(sim)
+        assert link.other(a) is b
+        assert link.other(b) is a
+        stranger = Host(sim, "c")
+        with pytest.raises(ValueError):
+            link.other(stranger)

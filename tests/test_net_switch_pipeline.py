@@ -1,0 +1,261 @@
+"""Unit tests for the match-action pipeline model and the switch."""
+
+import pytest
+
+from repro.core import ObjectID
+from repro.net import (
+    MISS_DROP,
+    MISS_PUNT,
+    MatchActionTable,
+    Packet,
+    SramModel,
+    Switch,
+    TableFullError,
+    TOFINO_SRAM,
+    build_star,
+)
+from repro.net.host import Host
+from repro.net.link import Link
+from repro.sim import Timeout
+
+
+class TestSramModel:
+    def test_paper_capacity_64_bit(self):
+        # §3.2: ~1.8M exact entries with 64-bit ID fields.
+        assert TOFINO_SRAM.capacity(64) == pytest.approx(1_800_000, rel=0.02)
+
+    def test_paper_capacity_128_bit(self):
+        # §3.2: ~850K with 128-bit IDs.
+        assert TOFINO_SRAM.capacity(128) == pytest.approx(850_000, rel=0.02)
+
+    def test_ratio_roughly_two(self):
+        ratio = TOFINO_SRAM.capacity(64) / TOFINO_SRAM.capacity(128)
+        assert 1.8 < ratio < 2.4
+
+    def test_words_per_entry(self):
+        assert TOFINO_SRAM.words_per_entry(64) == 1
+        assert TOFINO_SRAM.words_per_entry(128) == 2
+
+    def test_wider_keys_never_increase_capacity(self):
+        caps = [TOFINO_SRAM.capacity(bits) for bits in (16, 64, 128, 256)]
+        assert caps == sorted(caps, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SramModel(total_words=0)
+        with pytest.raises(ValueError):
+            SramModel(multiword_utilization=0.0)
+        with pytest.raises(ValueError):
+            TOFINO_SRAM.words_per_entry(0)
+
+
+class TestMatchActionTable:
+    def test_install_lookup(self):
+        table = MatchActionTable("t", key_bits=64, capacity_override=4)
+        table.install("k", 7)
+        assert table.lookup("k") == 7
+        assert table.hits == 1
+
+    def test_miss_counted(self):
+        table = MatchActionTable("t", key_bits=64, capacity_override=4)
+        assert table.lookup("ghost") is None
+        assert table.misses == 1
+
+    def test_capacity_enforced(self):
+        table = MatchActionTable("t", key_bits=64, capacity_override=2)
+        table.install("a", 1)
+        table.install("b", 2)
+        with pytest.raises(TableFullError):
+            table.install("c", 3)
+        assert table.insert_failures == 1
+
+    def test_update_existing_never_fails(self):
+        table = MatchActionTable("t", key_bits=64, capacity_override=1)
+        table.install("a", 1)
+        table.install("a", 2)  # update in place
+        assert table.lookup("a") == 2
+
+    def test_try_install(self):
+        table = MatchActionTable("t", key_bits=64, capacity_override=1)
+        assert table.try_install("a", 1)
+        assert not table.try_install("b", 2)
+
+    def test_remove(self):
+        table = MatchActionTable("t", key_bits=64, capacity_override=2)
+        table.install("a", 1)
+        assert table.remove("a")
+        assert not table.remove("a")
+        assert "a" not in table
+
+    def test_occupancy(self):
+        table = MatchActionTable("t", key_bits=64, capacity_override=4)
+        table.install("a", 1)
+        assert table.occupancy == 0.25
+
+    def test_default_capacity_from_sram(self):
+        table = MatchActionTable("t", key_bits=128)
+        assert table.capacity == TOFINO_SRAM.capacity(128)
+
+
+class TestSwitchForwarding:
+    def test_learning_then_unicast(self, sim):
+        net = build_star(sim, 3)
+        got = []
+        net.host("h1").on("m", lambda p: got.append(p))
+
+        def proc():
+            # h1 talks first so s0 learns its port.
+            net.host("h1").send(Packet(kind="m", src="h1", dst="h0"))
+            yield Timeout(100)
+            net.host("h0").send(Packet(kind="m", src="h0", dst="h1"))
+            yield Timeout(100)
+
+        sim.run_process(proc())
+        assert len(got) == 1
+        switch = net.switch("s0")
+        assert switch.tracer.counters["switch.tx"] >= 1
+
+    def test_unknown_unicast_floods(self, sim):
+        net = build_star(sim, 3)
+        got = []
+        net.host("h1").on("m", lambda p: got.append(p))
+
+        def proc():
+            net.host("h0").send(Packet(kind="m", src="h0", dst="h1"))
+            yield Timeout(100)
+
+        sim.run_process(proc())
+        assert len(got) == 1
+        assert net.switch("s0").tracer.counters["switch.unknown_unicast"] == 1
+
+    def test_flood_filtered_at_wrong_hosts(self, sim):
+        net = build_star(sim, 3)
+        wrong = []
+        net.host("h2").on("m", lambda p: wrong.append(p))
+
+        def proc():
+            net.host("h0").send(Packet(kind="m", src="h0", dst="h1"))
+            yield Timeout(100)
+
+        sim.run_process(proc())
+        assert wrong == []  # h2's NIC filter dropped the flooded copy
+        assert net.host("h2").tracer.counters["host.filtered"] == 1
+
+    def test_ttl_expiry_drops(self, sim):
+        net = build_star(sim, 2)
+        got = []
+        net.host("h1").on("m", lambda p: got.append(p))
+
+        def proc():
+            net.host("h0").send(Packet(kind="m", src="h0", dst="h1", ttl=0))
+            yield Timeout(100)
+
+        sim.run_process(proc())
+        assert got == []
+        assert net.switch("s0").tracer.counters["switch.ttl_expired"] == 1
+
+    def test_identity_routing_hit(self, sim):
+        net = build_star(sim, 3)
+        oid = ObjectID(42)
+        got = []
+        net.host("h1").on("m", lambda p: got.append(p))
+        switch = net.switch("s0")
+        # Teach the switch where h1 is, then install the identity route.
+        def proc():
+            net.host("h1").send(Packet(kind="m", src="h1", dst="h0"))
+            yield Timeout(100)
+            switch.install_identity_route(oid, net.port_toward("s0", "h1"))
+            net.host("h0").send(Packet(kind="m", src="h0", dst=None, oid=oid))
+            yield Timeout(100)
+
+        sim.run_process(proc())
+        assert len(got) == 1
+        assert switch.tracer.counters["switch.tx_identity"] == 1
+
+    def test_identity_miss_drop_behavior(self, sim):
+        net = build_star(sim, 2)
+        # Rebuild switch behavior: drop on identity miss.
+        net2_sim = sim
+        from repro.net import Network
+
+        net2 = Network(net2_sim)
+        net2.add_switch("sw", miss_behavior=MISS_DROP)
+        net2.add_host("a")
+        net2.add_host("b")
+        net2.connect("a", "sw")
+        net2.connect("b", "sw")
+        got = []
+        net2.host("b").on("m", lambda p: got.append(p))
+
+        def proc():
+            net2.host("a").send(Packet(kind="m", src="a", dst=None, oid=ObjectID(1)))
+            yield Timeout(100)
+
+        sim.run_process(proc())
+        assert got == []
+        assert net2.switch("sw").tracer.counters["switch.identity_drop"] == 1
+
+    def test_identity_miss_punt_behavior(self, sim):
+        from repro.net import Network
+
+        net = Network(sim)
+        switch = net.add_switch("sw", miss_behavior=MISS_PUNT)
+        net.add_host("a")
+        net.connect("a", "sw")
+        punted = []
+        switch.set_punt_handler(lambda packet, port: punted.append(packet))
+
+        def proc():
+            net.host("a").send(Packet(kind="m", src="a", dst=None, oid=ObjectID(1)))
+            yield Timeout(100)
+
+        sim.run_process(proc())
+        assert len(punted) == 1
+
+    def test_multicast_identity_route(self, sim):
+        net = build_star(sim, 4)
+        oid = ObjectID(9)
+        got = {name: [] for name in ("h1", "h2", "h3")}
+        for name in got:
+            net.host(name).on("m", lambda p, n=name: got[n].append(p))
+        switch = net.switch("s0")
+        ports = tuple(net.port_toward("s0", name) for name in ("h1", "h2"))
+        switch.install_identity_route(oid, ports)
+
+        def proc():
+            net.host("h0").send(Packet(kind="m", src="h0", dst=None, oid=oid))
+            yield Timeout(100)
+
+        sim.run_process(proc())
+        assert len(got["h1"]) == 1
+        assert len(got["h2"]) == 1
+        assert got["h3"] == []
+
+    def test_route_removal(self, sim):
+        net = build_star(sim, 2)
+        switch = net.switch("s0")
+        oid = ObjectID(3)
+        switch.install_identity_route(oid, 0)
+        assert switch.remove_identity_route(oid)
+        assert not switch.remove_identity_route(oid)
+
+    def test_table_full_counted(self, sim):
+        from repro.net import Network
+
+        net = Network(sim)
+        switch = net.add_switch("sw", identity_capacity=1)
+        net.add_host("a")
+        net.connect("a", "sw")
+        assert switch.install_identity_route(ObjectID(1), 0)
+        assert not switch.install_identity_route(ObjectID(2), 0)
+        assert switch.tracer.counters["switch.table_full"] == 1
+
+    def test_invalid_port_rejected(self, sim):
+        from repro.net import Network
+
+        net = Network(sim)
+        switch = net.add_switch("sw")
+        net.add_host("a")
+        net.connect("a", "sw")
+        with pytest.raises(ValueError):
+            switch.install_identity_route(ObjectID(1), 5)

@@ -1,0 +1,228 @@
+"""Unit and integration tests for in-network synchronization."""
+
+import pytest
+
+from repro.net import build_star, build_two_tier
+from repro.netsync import (
+    HostLockService,
+    HostSequencer,
+    SwitchLockService,
+    SwitchSequencer,
+    SyncClient,
+)
+from repro.sim import AllOf, Simulator, Timeout
+
+
+def star_with_switch_sequencer(seed=1, n_hosts=3):
+    sim = Simulator(seed=seed)
+    net = build_star(sim, n_hosts)
+    sequencer = SwitchSequencer(net.switch("s0"))
+    clients = [SyncClient(net.host(f"h{i}"), "s0") for i in range(n_hosts)]
+    return sim, net, sequencer, clients
+
+
+class TestSequencer:
+    def test_tickets_are_sequential(self):
+        sim, net, sequencer, clients = star_with_switch_sequencer()
+
+        def proc():
+            values = []
+            for _ in range(5):
+                value = yield from clients[0].next_sequence()
+                values.append(value)
+            return values
+
+        assert sim.run_process(proc()) == [1, 2, 3, 4, 5]
+
+    def test_streams_are_independent(self):
+        sim, net, sequencer, clients = star_with_switch_sequencer()
+
+        def proc():
+            a1 = yield from clients[0].next_sequence("a")
+            b1 = yield from clients[0].next_sequence("b")
+            a2 = yield from clients[0].next_sequence("a")
+            return a1, b1, a2
+
+        assert sim.run_process(proc()) == (1, 1, 2)
+
+    def test_concurrent_clients_never_share_a_ticket(self):
+        sim, net, sequencer, clients = star_with_switch_sequencer(n_hosts=4)
+        collected = []
+
+        def one_client(client, count):
+            for _ in range(count):
+                value = yield from client.next_sequence()
+                collected.append(value)
+            return None
+
+        def proc():
+            yield AllOf([sim.spawn(one_client(c, 10)) for c in clients])
+
+        sim.run_process(proc())
+        assert sorted(collected) == list(range(1, 41))
+
+    def test_switch_sequencer_beats_host_sequencer(self):
+        """The §5 point: arbitration in the network is on-path — over a
+        leaf-spine fabric a spine-resident sequencer answers in the time
+        it takes to *reach* the spine, while a host server adds the
+        spine->host leg both ways."""
+
+        def measure(in_network: bool):
+            sim = Simulator(seed=3)
+            net = build_two_tier(sim, n_leaves=2, hosts_per_leaf=2)
+            if in_network:
+                SwitchSequencer(net.switch("spine0"))
+                service = "spine0"
+            else:
+                net.add_host("seqd")
+                net.connect("seqd", "spine0")
+                HostSequencer(net.host("seqd"))
+                service = "seqd"
+            client = SyncClient(net.host("h0_0"), service)
+
+            def proc():
+                start = sim.now
+                for _ in range(10):
+                    yield from client.next_sequence()
+                return sim.now - start
+
+            return sim.run_process(proc())
+
+        assert measure(in_network=True) < measure(in_network=False)
+
+    def test_core_ticket_count(self):
+        sim, net, sequencer, clients = star_with_switch_sequencer()
+
+        def proc():
+            for _ in range(7):
+                yield from clients[1].next_sequence()
+            return None
+
+        sim.run_process(proc())
+        assert sequencer.core.tickets_issued == 7
+
+
+class TestLocks:
+    def _bed(self, in_network=True, seed=5, n_hosts=3):
+        sim = Simulator(seed=seed)
+        net = build_star(sim, n_hosts)
+        if in_network:
+            service_obj = SwitchLockService(net.switch("s0"))
+            service = "s0"
+        else:
+            net.add_host("lockd")
+            net.connect("lockd", "s0")
+            service_obj = HostLockService(net.host("lockd"))
+            service = "lockd"
+        clients = [SyncClient(net.host(f"h{i}"), service)
+                   for i in range(n_hosts)]
+        return sim, service_obj, clients
+
+    def test_uncontended_acquire(self):
+        sim, service, clients = self._bed()
+
+        def proc():
+            ok = yield from clients[0].acquire_lock("m")
+            clients[0].release_lock("m")
+            return ok
+
+        assert sim.run_process(proc()) is True
+
+    def test_mutual_exclusion(self):
+        sim, service, clients = self._bed()
+        in_section = [0]
+        max_seen = [0]
+
+        def worker(client):
+            yield from client.acquire_lock("m")
+            in_section[0] += 1
+            max_seen[0] = max(max_seen[0], in_section[0])
+            yield Timeout(50.0)
+            in_section[0] -= 1
+            client.release_lock("m")
+            return None
+
+        def proc():
+            yield AllOf([sim.spawn(worker(c)) for c in clients])
+
+        sim.run_process(proc())
+        assert max_seen[0] == 1
+
+    def test_fifo_grant_order(self):
+        sim, service, clients = self._bed()
+        order = []
+
+        def worker(client, tag, think_us):
+            yield Timeout(think_us)  # stagger arrival
+            yield from client.acquire_lock("m")
+            order.append(tag)
+            yield Timeout(20.0)
+            client.release_lock("m")
+            return None
+
+        def proc():
+            yield AllOf([
+                sim.spawn(worker(clients[0], "first", 0.0)),
+                sim.spawn(worker(clients[1], "second", 1.0)),
+                sim.spawn(worker(clients[2], "third", 2.0)),
+            ])
+
+        sim.run_process(proc())
+        assert order == ["first", "second", "third"]
+
+    def test_stale_release_ignored(self):
+        sim, service, clients = self._bed()
+
+        def proc():
+            yield from clients[0].acquire_lock("m")
+            clients[1].release_lock("m")  # not the holder
+            yield Timeout(100.0)
+            assert service.core.holder_of("m") == "h0"
+            clients[0].release_lock("m")
+            yield Timeout(100.0)
+            assert service.core.holder_of("m") is None
+            return "ok"
+
+        assert sim.run_process(proc()) == "ok"
+
+    def test_independent_lock_names(self):
+        sim, service, clients = self._bed()
+        granted = []
+
+        def worker(client, name):
+            yield from client.acquire_lock(name)
+            granted.append(name)
+            return None
+
+        def proc():
+            yield AllOf([
+                sim.spawn(worker(clients[0], "a")),
+                sim.spawn(worker(clients[1], "b")),
+            ])
+
+        sim.run_process(proc())
+        assert sorted(granted) == ["a", "b"]
+
+    def test_host_baseline_same_semantics(self):
+        sim, service, clients = self._bed(in_network=False)
+        order = []
+
+        def worker(client, tag):
+            yield from client.acquire_lock("m")
+            order.append(tag)
+            yield Timeout(10.0)
+            client.release_lock("m")
+            return None
+
+        def proc():
+            yield AllOf([sim.spawn(worker(c, i)) for i, c in enumerate(clients)])
+
+        sim.run_process(proc())
+        assert len(order) == 3
+
+    def test_duplicate_service_registration_rejected(self):
+        sim = Simulator(seed=9)
+        net = build_star(sim, 1)
+        SwitchSequencer(net.switch("s0"))
+        with pytest.raises(ValueError):
+            SwitchSequencer(net.switch("s0"))

@@ -1,0 +1,94 @@
+"""Unit tests for access-pattern generators."""
+
+import itertools
+import random
+from collections import Counter
+
+import pytest
+
+from repro.workloads import hot_cold, sequential_sweep, uniform, zipf, zipf_weights
+
+
+def take(iterator, n):
+    return list(itertools.islice(iterator, n))
+
+
+class TestUniform:
+    def test_covers_population(self):
+        rng = random.Random(1)
+        picks = take(uniform(list(range(10)), rng), 2000)
+        assert set(picks) == set(range(10))
+
+    def test_roughly_flat(self):
+        rng = random.Random(2)
+        counts = Counter(take(uniform(list(range(4)), rng), 4000))
+        assert max(counts.values()) < 2 * min(counts.values())
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            next(uniform([], random.Random(1)))
+
+    def test_deterministic(self):
+        a = take(uniform(list(range(5)), random.Random(3)), 50)
+        b = take(uniform(list(range(5)), random.Random(3)), 50)
+        assert a == b
+
+
+class TestZipf:
+    def test_weights_shape(self):
+        weights = zipf_weights(4, skew=1.0)
+        assert weights == pytest.approx([1.0, 0.5, 1 / 3, 0.25])
+
+    def test_zero_skew_is_uniform_weights(self):
+        assert zipf_weights(5, skew=0.0) == [1.0] * 5
+
+    def test_rank_one_dominates(self):
+        rng = random.Random(4)
+        counts = Counter(take(zipf(list(range(20)), rng, skew=1.2), 5000))
+        assert counts[0] == max(counts.values())
+        assert counts[0] > 5 * counts.get(19, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(5, skew=-1)
+
+    def test_deterministic(self):
+        a = take(zipf(list(range(8)), random.Random(5)), 100)
+        b = take(zipf(list(range(8)), random.Random(5)), 100)
+        assert a == b
+
+
+class TestHotCold:
+    def test_hot_set_absorbs_most_accesses(self):
+        rng = random.Random(6)
+        items = list(range(100))
+        picks = take(hot_cold(items, rng, hot_fraction=0.1,
+                              hot_probability=0.9), 5000)
+        hot_hits = sum(1 for p in picks if p < 10)
+        assert hot_hits / len(picks) == pytest.approx(0.9, abs=0.03)
+
+    def test_all_hot_when_fraction_one(self):
+        rng = random.Random(7)
+        picks = take(hot_cold(list(range(5)), rng, hot_fraction=1.0), 100)
+        assert set(picks) <= set(range(5))
+
+    def test_validation(self):
+        rng = random.Random(8)
+        with pytest.raises(ValueError):
+            next(hot_cold([], rng))
+        with pytest.raises(ValueError):
+            next(hot_cold([1], rng, hot_fraction=0.0))
+        with pytest.raises(ValueError):
+            next(hot_cold([1], rng, hot_probability=1.5))
+
+
+class TestSequentialSweep:
+    def test_round_robin_order(self):
+        picks = take(sequential_sweep([1, 2, 3]), 7)
+        assert picks == [1, 2, 3, 1, 2, 3, 1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            next(sequential_sweep([]))

@@ -1,0 +1,259 @@
+"""Unit and integration tests for packet subscriptions."""
+
+import pytest
+
+from repro.core import IDAllocator
+from repro.net import build_paper_topology, build_star
+from repro.pubsub import (
+    And,
+    CompileError,
+    Eq,
+    FormatError,
+    FormatField,
+    InRange,
+    Or,
+    PacketFormat,
+    PredicateError,
+    PubSubFabric,
+    TRUE,
+    compile_subscriptions,
+)
+from repro.net.pipeline import SramModel
+from repro.sim import Simulator, Timeout
+
+FMT = PacketFormat("telemetry", [
+    FormatField("kind", 16),
+    FormatField("severity", 8),
+    FormatField("region", 8),
+])
+
+
+class TestPredicates:
+    def test_eq_matches(self):
+        assert Eq("kind", 3).matches({"kind": 3})
+        assert not Eq("kind", 3).matches({"kind": 4})
+        assert not Eq("kind", 3).matches({})
+
+    def test_range_matches_inclusive(self):
+        predicate = InRange("severity", 2, 4)
+        assert predicate.matches({"severity": 2})
+        assert predicate.matches({"severity": 4})
+        assert not predicate.matches({"severity": 5})
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(PredicateError):
+            InRange("x", 5, 4)
+
+    def test_and_or_composition(self):
+        predicate = (Eq("kind", 1) & InRange("severity", 5, 9)) | Eq("kind", 2)
+        assert predicate.matches({"kind": 1, "severity": 7})
+        assert predicate.matches({"kind": 2, "severity": 0})
+        assert not predicate.matches({"kind": 1, "severity": 1})
+
+    def test_true_matches_everything(self):
+        assert TRUE.matches({})
+        assert TRUE.matches({"anything": 1})
+
+    def test_fields_union(self):
+        predicate = Eq("a", 1) & (Eq("b", 2) | Eq("c", 3))
+        assert predicate.fields() == {"a", "b", "c"}
+
+    def test_dnf_of_nested(self):
+        predicate = Eq("a", 1) & (Eq("b", 2) | Eq("c", 3))
+        terms = predicate.dnf()
+        assert len(terms) == 2
+        assert all(len(term) == 2 for term in terms)
+
+    def test_combinators_require_children(self):
+        with pytest.raises(PredicateError):
+            And()
+        with pytest.raises(PredicateError):
+            Or()
+
+
+class TestFormats:
+    def test_header_size(self):
+        assert FMT.header_bits == 32
+        assert FMT.header_bytes == 4
+
+    def test_unknown_field(self):
+        with pytest.raises(FormatError):
+            FMT.field("missing")
+
+    def test_validate_ranges(self):
+        FMT.validate({"kind": 65535, "severity": 0})
+        with pytest.raises(FormatError):
+            FMT.validate({"severity": 256})
+        with pytest.raises(FormatError):
+            FMT.validate({"kind": -1})
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(FormatError):
+            PacketFormat("bad", [FormatField("x", 8), FormatField("x", 8)])
+
+    def test_field_width_bounds(self):
+        with pytest.raises(FormatError):
+            FormatField("x", 0)
+        with pytest.raises(FormatError):
+            FormatField("x", 129)
+
+    def test_key_bits(self):
+        assert FMT.key_bits(["kind", "severity"]) == 24
+
+
+class TestCompiler:
+    def test_eq_becomes_exact_rule(self):
+        ruleset = compile_subscriptions(FMT, [(1, Eq("kind", 7))])
+        assert ruleset.entries_used() == 1
+        assert ruleset.classify({"kind": 7}) == {1}
+        assert ruleset.classify({"kind": 8}) == set()
+
+    def test_conjunction_single_rule(self):
+        ruleset = compile_subscriptions(
+            FMT, [(1, Eq("kind", 7) & Eq("severity", 2))])
+        assert ruleset.entries_used() == 1
+        assert ruleset.classify({"kind": 7, "severity": 2}) == {1}
+        assert ruleset.classify({"kind": 7, "severity": 3}) == set()
+
+    def test_disjunction_multiple_rules(self):
+        ruleset = compile_subscriptions(FMT, [(1, Eq("kind", 1) | Eq("kind", 2))])
+        assert ruleset.entries_used() == 2
+
+    def test_narrow_range_expanded(self):
+        ruleset = compile_subscriptions(FMT, [(1, InRange("severity", 3, 6))])
+        assert ruleset.entries_used() == 4
+        assert ruleset.residuals == []
+        assert ruleset.classify({"severity": 5}) == {1}
+
+    def test_wide_range_stays_residual(self):
+        ruleset = compile_subscriptions(
+            FMT, [(1, InRange("kind", 0, 10_000))], max_range_expansion=64)
+        assert ruleset.entries_used() == 0
+        assert len(ruleset.residuals) == 1
+        assert ruleset.classify({"kind": 9_999}) == {1}
+
+    def test_unknown_field_residual(self):
+        ruleset = compile_subscriptions(FMT, [(1, Eq("not_in_format", 1))])
+        assert ruleset.entries_used() == 0
+        assert ruleset.classify({"not_in_format": 1}) == {1}
+
+    def test_true_subscription_is_residual(self):
+        ruleset = compile_subscriptions(FMT, [(1, TRUE)])
+        assert ruleset.classify({"kind": 0}) == {1}
+
+    def test_contradictory_conjunction_matches_nothing(self):
+        ruleset = compile_subscriptions(FMT, [(1, Eq("kind", 1) & Eq("kind", 2))])
+        assert ruleset.entries_used() == 0
+        assert ruleset.classify({"kind": 1}) == set()
+
+    def test_sram_accounting(self):
+        ruleset = compile_subscriptions(FMT, [(1, Eq("kind", 7))])
+        assert ruleset.sram_words_used() == 1  # 16-bit key -> 1 word
+
+    def test_budget_overflow_raises(self):
+        tiny = SramModel(total_words=2)
+        with pytest.raises(CompileError):
+            compile_subscriptions(
+                FMT, [(1, InRange("severity", 0, 9))], sram=tiny)
+
+    def test_multiple_subscriptions_share_table(self):
+        ruleset = compile_subscriptions(FMT, [
+            (1, Eq("kind", 1)),
+            (2, Eq("kind", 1)),
+            (3, Eq("kind", 2)),
+        ])
+        assert ruleset.classify({"kind": 1}) == {1, 2}
+        assert ruleset.classify({"kind": 2}) == {3}
+
+
+class TestFabric:
+    def _bed(self, seed=1):
+        sim = Simulator(seed=seed)
+        net = build_paper_topology(sim)
+        fabric = PubSubFabric(net, FMT)
+        topic = IDAllocator(seed=seed + 1).allocate()
+        return sim, net, fabric, topic
+
+    def test_delivery_to_subscriber(self):
+        sim, net, fabric, topic = self._bed()
+        got = []
+        fabric.subscribe("resp1", topic, lambda fields, payload: got.append(fields))
+
+        def proc():
+            fabric.publish("driver", topic, {"kind": 1, "severity": 2}, b"data")
+            yield Timeout(1000)
+
+        sim.run_process(proc())
+        assert got == [{"kind": 1, "severity": 2}]
+
+    def test_residual_filtering_at_subscriber(self):
+        sim, net, fabric, topic = self._bed()
+        got = []
+        sub = fabric.subscribe("resp1", topic,
+                               lambda fields, payload: got.append(fields),
+                               predicate=Eq("kind", 5))
+
+        def proc():
+            fabric.publish("driver", topic, {"kind": 5}, b"yes")
+            fabric.publish("driver", topic, {"kind": 6}, b"no")
+            yield Timeout(1000)
+
+        sim.run_process(proc())
+        assert len(got) == 1
+        assert sub.delivered == 1
+        assert sub.filtered == 1
+
+    def test_multicast_to_multiple_subscribers(self):
+        sim, net, fabric, topic = self._bed()
+        got1, got2 = [], []
+        fabric.subscribe("resp1", topic, lambda f, p: got1.append(f))
+        fabric.subscribe("resp2", topic, lambda f, p: got2.append(f))
+
+        def proc():
+            fabric.publish("driver", topic, {"kind": 1}, b"x")
+            yield Timeout(1000)
+
+        sim.run_process(proc())
+        assert len(got1) == 1 and len(got2) == 1
+
+    def test_non_subscribers_do_not_receive(self):
+        sim, net, fabric, topic = self._bed()
+        got1 = []
+        fabric.subscribe("resp1", topic, lambda f, p: got1.append(f))
+        other_topic = IDAllocator(seed=99).allocate()
+        got_other = []
+        fabric.subscribe("resp2", other_topic, lambda f, p: got_other.append(f))
+
+        def proc():
+            fabric.publish("driver", topic, {"kind": 1}, b"x")
+            yield Timeout(1000)
+
+        sim.run_process(proc())
+        assert len(got1) == 1
+        assert got_other == []
+
+    def test_unsubscribe_stops_delivery(self):
+        sim, net, fabric, topic = self._bed()
+        got = []
+        sub = fabric.subscribe("resp1", topic, lambda f, p: got.append(f))
+
+        def proc():
+            fabric.publish("driver", topic, {"kind": 1}, b"x")
+            yield Timeout(1000)
+            fabric.unsubscribe(sub)
+            fabric.publish("driver", topic, {"kind": 1}, b"y")
+            yield Timeout(1000)
+
+        sim.run_process(proc())
+        assert len(got) == 1
+
+    def test_invalid_publication_rejected(self):
+        sim, net, fabric, topic = self._bed()
+        with pytest.raises(FormatError):
+            fabric.publish("driver", topic, {"severity": 999})
+
+    def test_compiled_rules_accessible(self):
+        sim, net, fabric, topic = self._bed()
+        fabric.subscribe("resp1", topic, lambda f, p: None, predicate=Eq("kind", 1))
+        ruleset = fabric.compiled_rules()
+        assert ruleset.entries_used() == 1

@@ -1,0 +1,330 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Interrupt,
+    Signal,
+    SimError,
+    Simulator,
+    Timeout,
+)
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_callback_runs_at_scheduled_time(self, sim):
+        seen = []
+        sim.schedule(10.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [10.0]
+
+    def test_callbacks_run_in_time_order(self, sim):
+        seen = []
+        sim.schedule(30.0, seen.append, "c")
+        sim.schedule(10.0, seen.append, "a")
+        sim.schedule(20.0, seen.append, "b")
+        sim.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_same_time_callbacks_run_in_schedule_order(self, sim):
+        seen = []
+        for tag in ("first", "second", "third"):
+            sim.schedule(5.0, seen.append, tag)
+        sim.run()
+        assert seen == ["first", "second", "third"]
+
+    def test_cancelled_event_does_not_fire(self, sim):
+        seen = []
+        handle = sim.schedule(5.0, seen.append, "x")
+        handle.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_run_until_stops_the_clock(self, sim):
+        seen = []
+        sim.schedule(100.0, seen.append, "late")
+        final = sim.run(until=50.0)
+        assert final == 50.0
+        assert seen == []
+
+    def test_schedule_at_absolute_time(self, sim):
+        seen = []
+        sim.schedule(5.0, lambda: sim.schedule_at(20.0, seen.append, sim.now))
+        sim.run()
+        assert seen == [5.0]
+        assert sim.now == 20.0
+
+    def test_pending_event_count_excludes_cancelled(self, sim):
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert sim.pending_event_count == 1
+
+    def test_determinism_across_runs(self):
+        def trace_run():
+            simulator = Simulator(seed=7)
+            seen = []
+
+            def proc():
+                for _ in range(5):
+                    yield Timeout(simulator.rng.uniform(0, 10))
+                    seen.append(simulator.now)
+                return None
+
+            simulator.run_process(proc())
+            return seen
+
+        assert trace_run() == trace_run()
+
+
+class TestProcesses:
+    def test_process_returns_value(self, sim):
+        def proc():
+            yield Timeout(1.0)
+            return 42
+
+        assert sim.run_process(proc()) == 42
+
+    def test_timeout_advances_clock(self, sim):
+        def proc():
+            yield Timeout(3.5)
+            return sim.now
+
+        assert sim.run_process(proc()) == pytest.approx(3.5)
+
+    def test_timeout_carries_value(self, sim):
+        def proc():
+            value = yield Timeout(1.0, value="payload")
+            return value
+
+        assert sim.run_process(proc()) == "payload"
+
+    def test_nested_process_wait(self, sim):
+        def child():
+            yield Timeout(5.0)
+            return "child-result"
+
+        def parent():
+            result = yield sim.spawn(child())
+            return result, sim.now
+
+        result, now = sim.run_process(parent())
+        assert result == "child-result"
+        assert now == pytest.approx(5.0)
+
+    def test_waiting_on_finished_process(self, sim):
+        def child():
+            yield Timeout(1.0)
+            return "done"
+
+        def parent():
+            proc = sim.spawn(child())
+            yield Timeout(10.0)
+            result = yield proc  # already finished
+            return result
+
+        assert sim.run_process(parent()) == "done"
+
+    def test_child_exception_propagates_to_waiter(self, sim):
+        def child():
+            yield Timeout(1.0)
+            raise ValueError("boom")
+
+        def parent():
+            try:
+                yield sim.spawn(child())
+            except ValueError as exc:
+                return str(exc)
+
+        assert sim.run_process(parent()) == "boom"
+
+    def test_unwaited_crash_surfaces_in_run(self, sim):
+        def child():
+            yield Timeout(1.0)
+            raise RuntimeError("lost")
+
+        sim.spawn(child())
+        with pytest.raises(SimError):
+            sim.run()
+
+    def test_yield_from_composition(self, sim):
+        def inner():
+            yield Timeout(2.0)
+            return 10
+
+        def outer():
+            a = yield from inner()
+            b = yield from inner()
+            return a + b
+
+        assert sim.run_process(outer()) == 20
+        assert sim.now == pytest.approx(4.0)
+
+    def test_yielding_non_waitable_fails(self, sim):
+        def proc():
+            yield "not a waitable"
+
+        with pytest.raises(SimError):
+            sim.run_process(proc())
+
+    def test_interrupt_raises_inside_process(self, sim):
+        def victim():
+            try:
+                yield Timeout(100.0)
+            except Interrupt as interrupt:
+                return ("interrupted", interrupt.cause, sim.now)
+            return "finished"
+
+        def attacker(target):
+            yield Timeout(5.0)
+            target.interrupt(cause="stop")
+            return None
+
+        target = sim.spawn(victim())
+        sim.spawn(attacker(target))
+        sim.run()
+        assert target.result == ("interrupted", "stop", 5.0)
+
+    def test_interrupt_after_finish_is_noop(self, sim):
+        def quick():
+            yield Timeout(1.0)
+            return "ok"
+
+        proc = sim.spawn(quick())
+        sim.run()
+        proc.interrupt()  # must not raise or resurrect
+        sim.run()
+        assert proc.result == "ok"
+
+
+class TestSignals:
+    def test_trigger_wakes_all_waiters(self, sim):
+        signal = sim.signal("go")
+        results = []
+
+        def waiter(tag):
+            value = yield signal
+            results.append((tag, value, sim.now))
+            return None
+
+        sim.spawn(waiter("a"))
+        sim.spawn(waiter("b"))
+
+        def firer():
+            yield Timeout(7.0)
+            woken = signal.trigger("news")
+            assert woken == 2
+            return None
+
+        sim.spawn(firer())
+        sim.run()
+        assert sorted(results) == [("a", "news", 7.0), ("b", "news", 7.0)]
+
+    def test_trigger_with_no_waiters_returns_zero(self, sim):
+        signal = sim.signal()
+        assert signal.trigger() == 0
+
+    def test_signal_fail_raises_in_waiters(self, sim):
+        signal = sim.signal()
+
+        def waiter():
+            try:
+                yield signal
+            except RuntimeError as exc:
+                return str(exc)
+
+        proc = sim.spawn(waiter())
+        sim.schedule(1.0, signal.fail, RuntimeError("cancelled"))
+        sim.run()
+        assert proc.result == "cancelled"
+
+    def test_retrigger_only_wakes_new_waiters(self, sim):
+        signal = sim.signal()
+        wakes = []
+
+        def waiter():
+            value = yield signal
+            wakes.append(value)
+            return None
+
+        sim.spawn(waiter())
+        sim.schedule(1.0, signal.trigger, "first")
+        sim.schedule(2.0, signal.trigger, "second")
+        sim.run()
+        assert wakes == ["first"]
+
+
+class TestCombinators:
+    def test_allof_collects_in_order(self, sim):
+        def worker(delay, tag):
+            yield Timeout(delay)
+            return tag
+
+        def parent():
+            results = yield AllOf([
+                sim.spawn(worker(30, "slow")),
+                sim.spawn(worker(10, "fast")),
+            ])
+            return results, sim.now
+
+        results, now = sim.run_process(parent())
+        assert results == ["slow", "fast"]
+        assert now == pytest.approx(30.0)
+
+    def test_allof_empty_completes_immediately(self, sim):
+        def parent():
+            results = yield AllOf([])
+            return results
+
+        assert sim.run_process(parent()) == []
+
+    def test_anyof_returns_first(self, sim):
+        def worker(delay, tag):
+            yield Timeout(delay)
+            return tag
+
+        def parent():
+            index, value = yield AnyOf([
+                sim.spawn(worker(30, "slow")),
+                sim.spawn(worker(10, "fast")),
+            ])
+            return index, value, sim.now
+
+        index, value, now = sim.run_process(parent())
+        assert (index, value) == (1, "fast")
+        assert now == pytest.approx(10.0)
+
+    def test_anyof_with_timeout_race(self, sim):
+        def slow():
+            yield Timeout(100.0)
+            return "slow"
+
+        def parent():
+            index, value = yield AnyOf([sim.spawn(slow()), Timeout(5.0, "expired")])
+            return index, value
+
+        assert sim.run_process(parent(), until=200.0) == (1, "expired")
+
+    def test_anyof_requires_children(self, sim):
+        with pytest.raises(SimError):
+            AnyOf([])
+
+    def test_allof_mixed_timeouts_and_processes(self, sim):
+        def worker():
+            yield Timeout(2.0)
+            return "proc"
+
+        def parent():
+            results = yield AllOf([Timeout(5.0, "timer"), sim.spawn(worker())])
+            return results
+
+        assert sim.run_process(parent()) == ["timer", "proc"]

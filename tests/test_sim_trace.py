@@ -1,0 +1,127 @@
+"""Unit tests for counters, sample series, and summaries."""
+
+import pytest
+
+from repro.sim import Counter, SampleSeries, Tracer, percentile, summarize
+
+
+class TestPercentile:
+    def test_basic_quartiles(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 50) == 2.0
+        assert percentile(values, 100) == 4.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 50) == 7.0
+
+    def test_unsorted_input(self):
+        assert percentile([9.0, 1.0, 5.0], 50) == 5.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_pct(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestSummarize:
+    def test_mean_and_extremes(self):
+        summary = summarize([2.0, 4.0, 6.0])
+        assert summary.mean == pytest.approx(4.0)
+        assert summary.minimum == 2.0
+        assert summary.maximum == 6.0
+        assert summary.count == 3
+
+    def test_stdev_of_constant_series(self):
+        assert summarize([5.0] * 10).stdev == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_as_dict_keys(self):
+        d = summarize([1.0, 2.0]).as_dict()
+        assert set(d) == {"count", "mean", "stdev", "min", "p50", "p95", "p99", "max"}
+
+
+class TestCounter:
+    def test_incr_and_get(self):
+        counter = Counter()
+        counter.incr("x")
+        counter.incr("x", 4)
+        assert counter.get("x") == 5
+        assert counter["x"] == 5
+
+    def test_missing_key_is_zero(self):
+        assert Counter().get("nothing") == 0
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().incr("x", -1)
+
+    def test_reset(self):
+        counter = Counter()
+        counter.incr("x")
+        counter.reset()
+        assert counter.get("x") == 0
+
+    def test_as_dict_snapshot(self):
+        counter = Counter()
+        counter.incr("a")
+        snapshot = counter.as_dict()
+        counter.incr("a")
+        assert snapshot == {"a": 1}
+
+
+class TestSampleSeries:
+    def test_record_and_summary(self):
+        series = SampleSeries()
+        for value in (1.0, 2.0, 3.0):
+            series.record("lat", value)
+        assert series.summary("lat").mean == pytest.approx(2.0)
+
+    def test_timeline_keeps_timestamps(self):
+        series = SampleSeries()
+        series.record("lat", 5.0, time=100.0)
+        series.record("lat", 7.0, time=200.0)
+        assert series.timeline("lat") == [(100.0, 5.0), (200.0, 7.0)]
+
+    def test_keys_sorted(self):
+        series = SampleSeries()
+        series.record("b", 1.0)
+        series.record("a", 1.0)
+        assert series.keys() == ["a", "b"]
+
+    def test_samples_returns_copy(self):
+        series = SampleSeries()
+        series.record("x", 1.0)
+        series.samples("x").append(99.0)
+        assert series.samples("x") == [1.0]
+
+
+class TestTracer:
+    def test_event_counts_category(self):
+        tracer = Tracer()
+        tracer.event(1.0, "drop", packet=3)
+        assert tracer.counters["event.drop"] == 1
+
+    def test_events_kept_only_when_enabled(self):
+        silent = Tracer(keep_events=False)
+        silent.event(1.0, "drop")
+        assert silent.events == []
+        loud = Tracer(keep_events=True)
+        loud.event(1.0, "drop", packet=5)
+        assert loud.events[0].detail == {"packet": 5}
+
+    def test_reset_clears_everything(self):
+        tracer = Tracer(keep_events=True)
+        tracer.count("x")
+        tracer.sample("y", 1.0)
+        tracer.event(1.0, "z")
+        tracer.reset()
+        assert tracer.counters.as_dict() == {}
+        assert tracer.series.keys() == []
+        assert tracer.events == []

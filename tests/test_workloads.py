@@ -1,0 +1,241 @@
+"""Unit and integration tests for the workload modules."""
+
+import random
+
+import pytest
+
+from repro.core import FunctionRegistry, GlobalRef, IDAllocator, ObjectSpace
+from repro.net import build_star
+from repro.rpc import RpcClient, RpcServer, encode, decode
+from repro.runtime import GlobalSpaceRuntime, MODE_LAZY
+from repro.sim import Simulator
+from repro.workloads import (
+    Activation,
+    LIST_NODE,
+    ModelPartition,
+    ObjectKVClient,
+    ObjectKVService,
+    RpcKVClient,
+    RpcKVService,
+    SparseModel,
+    build_linked_list,
+    dot_product,
+    local_traverse,
+    partition_flops,
+    personalize,
+    read_partition_object,
+    register_traversal,
+    write_partition_object,
+)
+
+
+class TestSparseModel:
+    def test_generate_deterministic(self):
+        a = SparseModel.generate(seed=1, n_partitions=2, entries_per_partition=50)
+        b = SparseModel.generate(seed=1, n_partitions=2, entries_per_partition=50)
+        assert a.partitions[0].entries == b.partitions[0].entries
+        assert a.total_entries == 100
+
+    def test_pack_unpack_roundtrip(self):
+        partition = ModelPartition.generate(random.Random(2), 5, 100)
+        rebuilt = ModelPartition.unpack(partition.pack())
+        assert rebuilt.partition_id == 5
+        assert len(rebuilt.entries) == 100
+        for (i1, w1), (i2, w2) in zip(partition.entries, rebuilt.entries):
+            assert i1 == i2
+            assert w1 == pytest.approx(w2, abs=1e-9)
+
+    def test_packed_size_formula(self):
+        partition = ModelPartition.generate(random.Random(3), 0, 10)
+        assert len(partition.pack()) == partition.packed_size
+
+    def test_structured_value_roundtrip_through_codec(self):
+        partition = ModelPartition.generate(random.Random(4), 1, 20)
+        rebuilt = ModelPartition.from_value(decode(encode(partition.to_value())))
+        assert rebuilt.entries == partition.entries
+
+    def test_object_image_roundtrip(self):
+        space = ObjectSpace(IDAllocator(seed=5), host_name="s")
+        partition = ModelPartition.generate(random.Random(5), 2, 50)
+        obj = write_partition_object(space, partition)
+        rebuilt = read_partition_object(obj)
+        assert rebuilt.partition_id == 2
+        assert len(rebuilt.entries) == 50
+
+    def test_dot_product_consistent_across_encodings(self):
+        rng = random.Random(6)
+        partition = ModelPartition.generate(rng, 0, 200)
+        activation = Activation.generate(rng, 64)
+        direct = dot_product(partition, activation)
+        via_pack = dot_product(ModelPartition.unpack(partition.pack()), activation)
+        via_value = dot_product(
+            ModelPartition.from_value(partition.to_value()), activation)
+        assert direct == pytest.approx(via_pack, abs=1e-6)
+        assert direct == pytest.approx(via_value)
+
+    def test_personalize_changes_some_weights(self):
+        rng = random.Random(7)
+        base = ModelPartition.generate(rng, 0, 100)
+        custom = personalize(base, rng, fraction=0.5)
+        assert custom.partition_id == base.partition_id
+        changed = sum(1 for a, b in zip(base.entries, custom.entries) if a != b)
+        assert changed > 0
+        # Indices never change, only weights.
+        assert all(a[0] == b[0] for a, b in zip(base.entries, custom.entries))
+
+    def test_personalize_fraction_bounds(self):
+        rng = random.Random(8)
+        base = ModelPartition.generate(rng, 0, 10)
+        with pytest.raises(ValueError):
+            personalize(base, rng, fraction=1.5)
+
+    def test_partition_flops(self):
+        partition = ModelPartition.generate(random.Random(9), 0, 128)
+        assert partition_flops(partition) == 256.0
+
+    def test_empty_partition_rejected(self):
+        with pytest.raises(ValueError):
+            ModelPartition.generate(random.Random(1), 0, 0)
+
+    def test_activation_validation(self):
+        with pytest.raises(ValueError):
+            Activation.generate(random.Random(1), 0)
+
+
+class TestLinkedList:
+    def test_build_and_local_traverse(self):
+        space = ObjectSpace(IDAllocator(seed=10), host_name="s")
+        head, objects, values = build_linked_list(space, 50, 8)
+        assert local_traverse(space, head) == values
+        assert len(objects) == 7  # ceil(50/8)
+
+    def test_cross_object_pointers_exist(self):
+        space = ObjectSpace(IDAllocator(seed=11), host_name="s")
+        head, objects, _ = build_linked_list(space, 20, 5)
+        assert any(len(obj.fot) > 0 for obj in objects)
+
+    def test_shuffled_layout_same_values(self):
+        rng = random.Random(12)
+        space = ObjectSpace(IDAllocator(seed=12), host_name="s")
+        head, _, values = build_linked_list(space, 30, 4, rng=rng,
+                                            shuffle_objects=True)
+        assert local_traverse(space, head) == values
+
+    def test_validation(self):
+        space = ObjectSpace(IDAllocator(seed=13), host_name="s")
+        with pytest.raises(ValueError):
+            build_linked_list(space, 0, 4)
+
+    def test_mobile_traversal_matches_local(self):
+        sim = Simulator(seed=14)
+        net = build_star(sim, 3, prefix="n")
+        registry = FunctionRegistry()
+        register_traversal(registry)
+        runtime = GlobalSpaceRuntime(net, registry)
+        for name in ("n0", "n1", "n2"):
+            runtime.add_node(name)
+        space = runtime.node("n1").space
+        head, objects, values = build_linked_list(space, 30, 6)
+        for obj in objects:
+            runtime.adopt_object("n1", obj)
+        _, code_ref = runtime.create_code("n0", "traverse_list", text_size=1024)
+
+        def proc():
+            result = yield sim.spawn(runtime.invoke(
+                "n0", code_ref, data_refs={"head": head}, flops=1e4))
+            return result
+
+        result = sim.run_process(proc())
+        assert result.value == {"sum": sum(values), "count": 30}
+
+    def test_register_traversal_idempotent(self):
+        registry = FunctionRegistry()
+        register_traversal(registry)
+        register_traversal(registry)  # second call is a no-op
+        assert "traverse_list" in registry
+
+
+class TestKVStore:
+    def _bed(self, value_bytes=10_000, seed=15):
+        sim = Simulator(seed=seed)
+        net = build_star(sim, 3, prefix="k")
+        runtime = GlobalSpaceRuntime(net)
+        for name in ("k0", "k1", "k2"):
+            runtime.add_node(name)
+        server = RpcServer(net.host("k1"))
+        rpc_service = RpcKVService(server)
+        obj_service = ObjectKVService(runtime, "k1", server)
+        value = bytes(random.Random(seed).randrange(256)
+                      for _ in range(value_bytes))
+        rpc_service.preload({"key": value})
+        obj_service.put_local("key", value)
+        client = RpcClient(net.host("k0"))
+        rpc_client = RpcKVClient(client, "k1")
+        obj_client = ObjectKVClient(runtime, "k0", client, "k1")
+        return sim, rpc_client, obj_client, value
+
+    def test_both_paths_return_same_bytes(self):
+        sim, rpc_client, obj_client, value = self._bed()
+
+        def proc():
+            via_rpc = yield from rpc_client.get("key")
+            via_obj = yield from obj_client.get("key")
+            return via_rpc, via_obj
+
+        via_rpc, via_obj = sim.run_process(proc())
+        assert bytes(via_rpc) == value
+        assert bytes(via_obj) == value
+
+    def test_rpc_put_then_get(self):
+        sim, rpc_client, obj_client, _ = self._bed()
+
+        def proc():
+            yield from rpc_client.put("new", b"fresh")
+            got = yield from rpc_client.get("new")
+            return got
+
+        assert bytes(sim.run_process(proc())) == b"fresh"
+
+    def test_missing_key_faults(self):
+        from repro.rpc import RpcError
+
+        sim, rpc_client, obj_client, _ = self._bed()
+
+        def proc():
+            try:
+                yield from rpc_client.get("ghost")
+            except RpcError:
+                return "raised"
+
+        assert sim.run_process(proc()) == "raised"
+
+    def test_cached_get_is_local_and_fast(self):
+        sim, rpc_client, obj_client, value = self._bed(value_bytes=100_000)
+
+        def proc():
+            start = sim.now
+            yield from obj_client.get("key", cache=True)
+            first = sim.now - start
+            start = sim.now
+            got = yield from obj_client.get("key")
+            second = sim.now - start
+            return first, second, got
+
+        first, second, got = sim.run_process(proc())
+        assert bytes(got) == value
+        assert second < first / 10  # re-access is local
+
+    def test_rpc_reships_value_every_time(self):
+        sim, rpc_client, obj_client, value = self._bed(value_bytes=100_000)
+
+        def proc():
+            start = sim.now
+            yield from rpc_client.get("key")
+            first = sim.now - start
+            start = sim.now
+            yield from rpc_client.get("key")
+            second = sim.now - start
+            return first, second
+
+        first, second = sim.run_process(proc())
+        assert second == pytest.approx(first, rel=0.3)  # no caching benefit
