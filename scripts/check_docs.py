@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Hold OBSERVABILITY.md and ``repro.obs.keys.VOCABULARY`` in lockstep.
+
+Three checks, each of which must pass for the vocabulary to be trusted:
+
+1. **Docs == code.**  The vocabulary tables in OBSERVABILITY.md (every
+   ``| `key` | kind | unit | description |`` row under "## Vocabulary")
+   must list exactly the entries of ``VOCABULARY``, in order.
+2. **Documented => emitted.**  Every vocabulary key must be recorded
+   somewhere in ``src/repro`` outside ``obs/keys.py`` — as a quoted
+   literal, or (for span names and the ``runtime.*`` keys, which are
+   emitted through constants) as a use of the ``SPAN_*``/``K_*``
+   constant.
+3. **Emitted => documented.**  Every dotted key literal recorded on an
+   instrumented hot path (``.count(``/``.sample(``/``.incr(``/
+   ``.record(`` call sites in the files listed below) must be in the
+   vocabulary, either exactly or via a ``<prefix>.*`` family.
+
+Run directly (exit 0/1) or through ``tests/test_check_docs.py``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+from typing import Dict, List, Tuple
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+DOC = REPO / "OBSERVABILITY.md"
+
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.obs import keys as keymod  # noqa: E402  (path set above)
+
+# A vocabulary table row: | `key` | kind | unit | description |
+ROW_RE = re.compile(
+    r"^\|\s*`([^`]+)`\s*\|\s*(\S+)\s*\|\s*(\S+)\s*\|\s*(.+?)\s*\|\s*$")
+
+# Dotted key literal on a recording line ("host.tx_bytes", not "drop").
+KEY_LITERAL_RE = re.compile(r'"([a-z][a-z0-9_]*(?:\.[a-z0-9_]+)+)"')
+
+RECORDING_CALLS = (".count(", ".sample(", ".incr(", ".record(")
+
+# The hot paths the vocabulary claims to cover — the "emitted =>
+# documented" direction is scoped to these files (OBSERVABILITY.md's
+# Scope section names the families that intentionally stay outside).
+INSTRUMENTED = (
+    "sim/trace.py",
+    "core/placement.py",
+    "net/host.py",
+    "net/switch.py",
+    "net/link.py",
+    "runtime/engine.py",
+    "runtime/node.py",
+    "discovery/base.py",
+    "discovery/e2e.py",
+    "discovery/hybrid.py",
+    "discovery/controller.py",
+)
+
+# Keys emitted through a named constant rather than a string literal.
+CONSTANT_EMITTED: Dict[str, str] = {
+    keymod.SPAN_INVOKE: "SPAN_INVOKE",
+    keymod.SPAN_PLACEMENT: "SPAN_PLACEMENT",
+    keymod.SPAN_REQUEST: "SPAN_REQUEST",
+    keymod.SPAN_STAGE_IN: "SPAN_STAGE_IN",
+    keymod.SPAN_FETCH: "SPAN_FETCH",
+    keymod.SPAN_QUEUE: "SPAN_QUEUE",
+    keymod.SPAN_COMPUTE: "SPAN_COMPUTE",
+    keymod.SPAN_RETURN: "SPAN_RETURN",
+    keymod.K_INVOCATIONS: "K_INVOCATIONS",
+    keymod.K_PLACED_AT.rstrip(".") + ".*": "K_PLACED_AT",
+    keymod.K_INVOKE_US: "K_INVOKE_US",
+}
+
+
+def parse_doc_rows() -> List[Tuple[str, str, str, str]]:
+    """The (key, kind, unit, description) rows under "## Vocabulary"."""
+    rows: List[Tuple[str, str, str, str]] = []
+    in_vocab = False
+    for line in DOC.read_text(encoding="utf-8").splitlines():
+        if line.startswith("## "):
+            in_vocab = line.strip() == "## Vocabulary"
+            continue
+        if not in_vocab:
+            continue
+        match = ROW_RE.match(line)
+        if match:
+            rows.append(match.groups())
+    return rows
+
+
+def source_corpus() -> str:
+    """All repro source except the vocabulary declaration itself."""
+    parts = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path == SRC / "obs" / "keys.py":
+            continue
+        parts.append(path.read_text(encoding="utf-8"))
+    return "\n".join(parts)
+
+
+def check_docs_match_code() -> List[str]:
+    documented = parse_doc_rows()
+    declared = [(s.name, s.kind, s.unit, s.description)
+                for s in keymod.VOCABULARY]
+    problems = []
+    doc_names = {row[0] for row in documented}
+    code_names = {row[0] for row in declared}
+    for name in sorted(code_names - doc_names):
+        problems.append(f"key {name!r} is in VOCABULARY but not in "
+                        f"OBSERVABILITY.md")
+    for name in sorted(doc_names - code_names):
+        problems.append(f"key {name!r} is documented in OBSERVABILITY.md "
+                        f"but not in VOCABULARY")
+    if not problems and documented != declared:
+        for doc_row, code_row in zip(documented, declared):
+            if doc_row != code_row:
+                problems.append(
+                    f"row mismatch for {code_row[0]!r}: docs say "
+                    f"{doc_row!r}, code says {code_row!r}")
+    return problems
+
+
+def check_documented_keys_emitted() -> List[str]:
+    corpus = source_corpus()
+    problems = []
+    for spec in keymod.VOCABULARY:
+        if spec.name in CONSTANT_EMITTED:
+            needle = CONSTANT_EMITTED[spec.name]
+            if not re.search(rf"\b{needle}\b", corpus):
+                problems.append(
+                    f"documented key {spec.name!r} (constant {needle}) is "
+                    f"never used in src/repro")
+            continue
+        if spec.name.endswith(".*"):
+            prefix = re.escape(spec.name[:-1])  # keep the trailing dot
+            if not re.search(rf'f?"{prefix}', corpus):
+                problems.append(
+                    f"documented prefix family {spec.name!r} is never "
+                    f"emitted in src/repro")
+            continue
+        if spec.kind == "event":
+            if not re.search(rf'\.event\([^)]*"{re.escape(spec.name)}"',
+                             corpus):
+                problems.append(
+                    f"documented event kind {spec.name!r} is never "
+                    f"recorded in src/repro")
+            continue
+        if f'"{spec.name}"' not in corpus:
+            problems.append(
+                f"documented key {spec.name!r} is never emitted in "
+                f"src/repro")
+    return problems
+
+
+def check_emitted_keys_documented() -> List[str]:
+    specs = keymod.specs_by_name()
+    families = [name[:-1] for name in specs if name.endswith(".*")]
+    problems = []
+    for rel in INSTRUMENTED:
+        path = SRC / rel
+        for lineno, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1):
+            if not any(call in line for call in RECORDING_CALLS):
+                continue
+            for key in KEY_LITERAL_RE.findall(line):
+                if key in specs:
+                    continue
+                if any(key.startswith(prefix) for prefix in families):
+                    continue
+                problems.append(
+                    f"{rel}:{lineno} records {key!r}, which is not in "
+                    f"the OBSERVABILITY.md vocabulary")
+    return problems
+
+
+def run_all() -> List[str]:
+    """All problems from all three checks (empty means consistent)."""
+    return (check_docs_match_code()
+            + check_documented_keys_emitted()
+            + check_emitted_keys_documented())
+
+
+def main() -> int:
+    problems = run_all()
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s)")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    n_keys = len(keymod.VOCABULARY)
+    print(f"check_docs: OBSERVABILITY.md and repro.obs.keys agree "
+          f"({n_keys} keys, {len(INSTRUMENTED)} instrumented files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

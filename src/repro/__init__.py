@@ -33,6 +33,7 @@ Quick start::
 
 Subpackages: :mod:`repro.sim` (event loop), :mod:`repro.core` (object
 layer + placement), :mod:`repro.net` (network substrate),
+:mod:`repro.obs` (spans + metrics registry + trace export),
 :mod:`repro.discovery`, :mod:`repro.runtime`, :mod:`repro.memproto`,
 :mod:`repro.pubsub`, :mod:`repro.rpc`, :mod:`repro.consistency`,
 :mod:`repro.workloads`.
@@ -61,6 +62,7 @@ from .net import (
     build_star,
     build_two_tier,
 )
+from .obs import MetricsRegistry, Span, SpanRecorder
 from .runtime import GlobalSpaceRuntime, InvokeResult
 from .sim import Simulator, Timeout
 
@@ -91,4 +93,7 @@ __all__ = [
     "build_two_tier",
     "GlobalSpaceRuntime",
     "InvokeResult",
+    "Span",
+    "SpanRecorder",
+    "MetricsRegistry",
 ]

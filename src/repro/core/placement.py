@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..sim import Tracer
 from .costmodel import CostModel, DEFAULT_COST_MODEL
 from .refs import GlobalRef
 
@@ -140,10 +141,12 @@ class PlacementEngine:
         cost_model: CostModel = DEFAULT_COST_MODEL,
         queue_penalty_us: float = 50.0,
         transfer_blind: bool = False,
+        tracer: Optional[Tracer] = None,
     ):
         self.cost_model = cost_model
         self.queue_penalty_us = queue_penalty_us
         self.transfer_blind = transfer_blind
+        self.tracer = tracer if tracer is not None else Tracer()
 
     # -- candidate evaluation ------------------------------------------------
     def _nearest_source(
@@ -211,22 +214,28 @@ class PlacementEngine:
         lack capacity, permission, or required pinned inputs).
         """
         if not candidates:
+            self.tracer.count("placement.infeasible")
             raise PlacementError("no candidate nodes supplied")
         best: Optional[PlacementDecision] = None
         considered: Dict[str, float] = {}
         for node in candidates:
             if not node.can_execute:
+                self.tracer.count("placement.rejected")
                 continue
             decision = self._evaluate(request, node, distance)
             if decision is None:
+                self.tracer.count("placement.rejected")
                 continue
             considered[node.name] = decision.total_us
             if best is None or decision.total_us < best.total_us:
                 best = decision
         if best is None:
+            self.tracer.count("placement.infeasible")
             raise PlacementError(
                 "no feasible execution node: every candidate lacks capacity, "
                 "permission, or a required pinned input"
             )
         best.considered = considered
+        self.tracer.count("placement.decisions")
+        self.tracer.sample("placement.est_total_us", best.total_us)
         return best

@@ -24,6 +24,7 @@ import itertools
 from typing import Dict, Optional
 
 from ..core.objectid import ObjectID
+from ..obs.registry import MetricsRegistry
 from ..sim import AnyOf, Future, Simulator, Timeout, Tracer
 from ..net.host import Host
 from ..net.packet import Packet
@@ -55,7 +56,9 @@ class SdnController:
 
     def __init__(self, network: Network, host: Host,
                  install_delay_us: float = 20.0,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 metrics_name: str = "discovery.controller"):
         if install_delay_us < 0:
             raise DiscoveryError("install delay must be non-negative")
         self.network = network
@@ -63,6 +66,8 @@ class SdnController:
         self.sim: Simulator = host.sim
         self.install_delay_us = install_delay_us
         self.tracer = tracer or Tracer()
+        if metrics is not None:
+            metrics.register(metrics_name, self.tracer, replace=True)
         self.owner_of: Dict[ObjectID, str] = {}
         self.install_failures = 0
         host.on(KIND_ADVERTISE, self._on_advertise)
@@ -112,7 +117,9 @@ class IdentityAccessor:
     """
 
     def __init__(self, host: Host, timeout_us: float = 50_000.0,
-                 max_retries: int = 3, tracer: Optional[Tracer] = None):
+                 max_retries: int = 3, tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 metrics_name: str = "discovery.identity"):
         if timeout_us <= 0:
             raise DiscoveryError("timeout must be positive")
         self.host = host
@@ -120,6 +127,8 @@ class IdentityAccessor:
         self.timeout_us = timeout_us
         self.max_retries = max_retries
         self.tracer = tracer or Tracer()
+        if metrics is not None:
+            metrics.register(metrics_name, self.tracer, replace=True)
         self._pending: Dict[int, Future] = {}
         host.on(KIND_ACCESS_RSP, self._on_rsp)
         host.on(KIND_ACCESS_NACK, self._on_rsp)

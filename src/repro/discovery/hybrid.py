@@ -28,6 +28,7 @@ import itertools
 from typing import Dict, Optional
 
 from ..core.objectid import ObjectID
+from ..obs.registry import MetricsRegistry
 from ..sim import AnyOf, Future, Simulator, Timeout, Tracer
 from ..net.host import Host
 from ..net.packet import Packet
@@ -49,7 +50,9 @@ class HybridAccessor:
     """Requester-side hybrid: destination cache over identity routing."""
 
     def __init__(self, host: Host, timeout_us: float = 50_000.0,
-                 max_retries: int = 3, tracer: Optional[Tracer] = None):
+                 max_retries: int = 3, tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 metrics_name: str = "discovery.hybrid"):
         if timeout_us <= 0:
             raise DiscoveryError("timeout must be positive")
         self.host = host
@@ -57,6 +60,8 @@ class HybridAccessor:
         self.timeout_us = timeout_us
         self.max_retries = max_retries
         self.tracer = tracer or Tracer()
+        if metrics is not None:
+            metrics.register(metrics_name, self.tracer, replace=True)
         self.cache: Dict[ObjectID, str] = {}
         self._pending: Dict[int, Future] = {}
         host.on(KIND_ACCESS_RSP, self._on_reply)

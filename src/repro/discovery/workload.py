@@ -100,13 +100,16 @@ class _Testbed:
             )
             for name in _RESPONDERS
         }
+        for name, home in self.homes.items():
+            self.net.metrics.register(f"discovery.home.{name}", home.tracer)
         driver = self.net.host("driver")
         if scheme == SCHEME_CONTROLLER:
-            self.controller = SdnController(self.net, self.net.host("controller"))
-            self.accessor = IdentityAccessor(driver)
+            self.controller = SdnController(self.net, self.net.host("controller"),
+                                            metrics=self.net.metrics)
+            self.accessor = IdentityAccessor(driver, metrics=self.net.metrics)
         else:
             self.controller = None
-            self.accessor = E2EResolver(driver)
+            self.accessor = E2EResolver(driver, metrics=self.net.metrics)
         self.location: Dict[ObjectID, str] = {}
 
     # -- object lifecycle ---------------------------------------------------

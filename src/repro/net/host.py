@@ -81,6 +81,7 @@ class Host(Node):
         packet.src = packet.src or self.name
         packet.created_at = packet.created_at or self.sim.now
         self.tracer.count("host.tx")
+        self.tracer.count("host.tx_bytes", packet.size_bytes)
         if packet.is_broadcast:
             self.tracer.count("host.tx_broadcast")
         self.send_on_port(port, packet)
@@ -107,6 +108,7 @@ class Host(Node):
             self.tracer.count("host.dropped_while_failed")
             return
         self.tracer.count("host.rx")
+        self.tracer.count("host.rx_bytes", packet.size_bytes)
         if packet.is_broadcast:
             if packet.src == self.name:
                 return  # our own broadcast echoed back through a loop

@@ -125,6 +125,7 @@ class Switch(Node):
     def receive(self, packet: Packet, in_port: int) -> None:
         """Ingress entry point: dispatch one arriving packet."""
         self.tracer.count("switch.rx")
+        self.tracer.count("switch.rx_bytes", packet.size_bytes)
         # Duplicate suppression FIRST, then learning: in a looped fabric,
         # flood copies of one packet arrive on several ports, and only the
         # first (which came via the shortest path) may teach the host

@@ -15,6 +15,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.registry import MetricsRegistry
 from ..sim import Simulator, Tracer
 from .host import Host
 from .link import DEFAULT_BANDWIDTH_GBPS, DEFAULT_LATENCY_US, Link
@@ -47,6 +48,11 @@ class Network:
         self.nodes: Dict[str, Node] = {}
         self.links: List[Link] = []
         self.tracer = Tracer()
+        # Cluster-wide view: every node tracer lands here under a
+        # hierarchical name, and upper layers (runtime, discovery) add
+        # their own — see OBSERVABILITY.md.
+        self.metrics = MetricsRegistry()
+        self.metrics.register("net.links", self.tracer)
         self._distance_cache: Dict[str, Dict[str, int]] = {}
 
     # -- construction ----------------------------------------------------
@@ -54,6 +60,8 @@ class Network:
         if node.name in self.nodes:
             raise NodeError(f"duplicate node name {node.name!r}")
         self.nodes[node.name] = node
+        kind = "host" if isinstance(node, Host) else "switch"
+        self.metrics.register(f"net.{kind}.{node.name}", node.tracer)
         self._distance_cache.clear()
 
     def add_host(self, name: str) -> Host:

@@ -1,0 +1,223 @@
+"""The canonical trace-key vocabulary.
+
+Every name a :class:`~repro.sim.Tracer` counter/series/event or a
+:class:`~repro.obs.span.Span` may use on the instrumented hot paths is
+declared here as a :class:`KeySpec` and documented in OBSERVABILITY.md —
+``scripts/check_docs.py`` holds the two in lockstep and verifies each
+key is actually emitted by the source.  Two unit rules keep the numbers
+composable: durations are **simulated microseconds** (``µs``) and sizes
+are **bytes**; dimensionless tallies use unit ``1``.
+
+Names ending in ``.*`` are prefix families: the emitted key appends a
+runtime-determined suffix (a node name, an event category).
+
+The ``SPAN_*`` and ``K_*`` constants exist so instrumentation sites and
+tests never hand-type these strings; generic span names like
+``compute`` could not otherwise be grepped for reliably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = [
+    "KeySpec", "VOCABULARY", "KINDS", "UNITS",
+    "SPAN_INVOKE", "SPAN_PLACEMENT", "SPAN_REQUEST", "SPAN_STAGE_IN",
+    "SPAN_FETCH", "SPAN_QUEUE", "SPAN_COMPUTE", "SPAN_RETURN",
+    "K_INVOCATIONS", "K_PLACED_AT", "K_INVOKE_US",
+]
+
+KINDS = ("counter", "series", "event", "span")
+UNITS = ("µs", "bytes", "1")
+
+
+@dataclass(frozen=True)
+class KeySpec:
+    """One vocabulary entry: a key name, what records it, its unit."""
+
+    name: str
+    kind: str
+    unit: str
+    description: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"bad kind {self.kind!r} for {self.name!r}")
+        if self.unit not in UNITS:
+            raise ValueError(f"bad unit {self.unit!r} for {self.name!r}")
+
+
+# -- span names (one tree per invocation; root is `invoke`) -------------------
+SPAN_INVOKE = "invoke"
+SPAN_PLACEMENT = "placement"
+SPAN_REQUEST = "request"
+SPAN_STAGE_IN = "stage_in"
+SPAN_FETCH = "fetch"
+SPAN_QUEUE = "queue"
+SPAN_COMPUTE = "compute"
+SPAN_RETURN = "return"
+
+# -- counter/series constants used at instrumentation sites ------------------
+K_INVOCATIONS = "runtime.invocations"
+K_PLACED_AT = "runtime.placed_at."  # prefix family; suffix = node name
+K_INVOKE_US = "runtime.invoke_us"
+
+
+def _k(name: str, kind: str, unit: str, description: str) -> KeySpec:
+    return KeySpec(name, kind, unit, description)
+
+
+VOCABULARY: Tuple[KeySpec, ...] = (
+    # ---- spans (recorded by GlobalSpaceRuntime.spans) -----------------------
+    _k(SPAN_INVOKE, "span", "µs",
+       "Root of each invocation's span tree; duration == result.latency_us."),
+    _k(SPAN_PLACEMENT, "span", "µs",
+       "Placement decision (zero-width: deciding costs no simulated time)."),
+    _k(SPAN_REQUEST, "span", "µs",
+       "Wire leg of a remote invocation: request send to serve start."),
+    _k(SPAN_STAGE_IN, "span", "µs",
+       "Parallel fetch of all missing code/data objects on the executor."),
+    _k(SPAN_FETCH, "span", "µs",
+       "One object fetch inside stage_in (child span per object)."),
+    _k(SPAN_QUEUE, "span", "µs",
+       "Executor queue point (zero-width; tags carry active_jobs)."),
+    _k(SPAN_COMPUTE, "span", "µs",
+       "Function execution window on the chosen node."),
+    _k(SPAN_RETURN, "span", "µs",
+       "Result return: reply send to arrival (zero-width when local)."),
+    # ---- runtime.* (tracer `runtime.engine`) --------------------------------
+    _k("runtime.invocations", "counter", "1",
+       "Invocations accepted by GlobalSpaceRuntime.invoke."),
+    _k("runtime.placed_at.*", "counter", "1",
+       "Invocations placed on each node; suffix is the node name."),
+    _k("runtime.invoke_us", "series", "µs",
+       "End-to-end invocation latency."),
+    # ---- placement.* (tracer `core.placement`) ------------------------------
+    _k("placement.decisions", "counter", "1",
+       "Successful placement decisions."),
+    _k("placement.rejected", "counter", "1",
+       "Candidate nodes skipped (cannot execute or infeasible)."),
+    _k("placement.infeasible", "counter", "1",
+       "Decisions that failed outright (no feasible candidate)."),
+    _k("placement.est_total_us", "series", "µs",
+       "Cost model's estimated total latency of each chosen plan."),
+    # ---- node.* (tracer `runtime.node.<host>`) ------------------------------
+    _k("node.exec", "counter", "1", "Function executions started."),
+    _k("node.materialized", "counter", "1",
+       "Results stored into the executor's object table."),
+    _k("node.fetched", "counter", "1", "Objects fetched successfully."),
+    _k("node.fetch_timeout", "counter", "1",
+       "Fetch attempts that timed out."),
+    _k("node.fetch_failover", "counter", "1",
+       "Fetches retried against another holder."),
+    _k("node.fetch_served", "counter", "1", "Fetch requests served."),
+    _k("node.fetch_nack", "counter", "1", "Fetch requests refused."),
+    _k("node.fetch_denied", "counter", "1",
+       "Fetch requests refused by the ACL."),
+    _k("node.read_served", "counter", "1", "Read requests served."),
+    _k("node.read_denied", "counter", "1",
+       "Read requests refused by the ACL."),
+    _k("node.read_timeout", "counter", "1", "Remote reads that timed out."),
+    _k("node.remote_read", "counter", "1", "Remote reads completed."),
+    _k("node.write_served", "counter", "1", "Write requests served."),
+    _k("node.write_denied", "counter", "1",
+       "Write requests refused by the ACL."),
+    _k("node.remote_write", "counter", "1", "Remote writes completed."),
+    # ---- host.* (tracer `net.host.<name>`) ----------------------------------
+    _k("host.tx", "counter", "1", "Packets sent."),
+    _k("host.tx_bytes", "counter", "bytes", "Payload bytes sent."),
+    _k("host.tx_broadcast", "counter", "1", "Broadcast packets sent."),
+    _k("host.rx", "counter", "1", "Packets received (pre-filter)."),
+    _k("host.rx_bytes", "counter", "bytes",
+       "Payload bytes received (pre-filter)."),
+    _k("host.dup_suppressed", "counter", "1",
+       "Duplicate packets dropped by the dedup window."),
+    _k("host.filtered", "counter", "1",
+       "Packets dropped: not addressed to this host."),
+    _k("host.promiscuous_rx", "counter", "1",
+       "Foreign packets accepted in promiscuous mode."),
+    _k("host.unhandled", "counter", "1",
+       "Accepted packets with no registered handler."),
+    _k("host.dropped_while_failed", "counter", "1",
+       "Packets dropped while the host was failed."),
+    _k("host.failed", "counter", "1", "Failure transitions."),
+    _k("host.recovered", "counter", "1", "Recovery transitions."),
+    # ---- switch.* (tracer `net.switch.<name>`) ------------------------------
+    _k("switch.rx", "counter", "1", "Packets received."),
+    _k("switch.rx_bytes", "counter", "bytes", "Payload bytes received."),
+    _k("switch.tx", "counter", "1", "Packets forwarded out a port."),
+    _k("switch.tx_identity", "counter", "1",
+       "Packets forwarded via an identity route."),
+    _k("switch.flooded", "counter", "1", "Ports flooded to."),
+    _k("switch.dup_suppressed", "counter", "1",
+       "Duplicate packets dropped by the dedup window."),
+    _k("switch.hairpin_drop", "counter", "1",
+       "Packets not sent back out their ingress port."),
+    _k("switch.unknown_unicast", "counter", "1",
+       "Unicasts with no learned port (flooded instead)."),
+    _k("switch.identity_miss", "counter", "1",
+       "Identity-routed packets with no matching route."),
+    _k("switch.identity_drop", "counter", "1",
+       "Identity packets dropped (no route, no fallback)."),
+    _k("switch.ttl_expired", "counter", "1", "Packets dropped at TTL 0."),
+    _k("switch.route_installed", "counter", "1",
+       "Identity routes installed."),
+    _k("switch.route_removed", "counter", "1", "Identity routes removed."),
+    _k("switch.table_full", "counter", "1",
+       "Route installs rejected: table at capacity."),
+    _k("switch.service", "counter", "1",
+       "In-network service invocations."),
+    _k("switch.service_unknown", "counter", "1",
+       "Service packets with no registered handler."),
+    # ---- link.* / event.* (tracer `net.links`, shared) ----------------------
+    _k("link.dropped", "counter", "1",
+       "Packets lost to link loss_rate or link failure."),
+    _k("event.*", "counter", "1",
+       "Automatic tally per structured-event category (Tracer.event)."),
+    _k("drop", "event", "1",
+       "Structured record of one link-level packet drop."),
+    # ---- discovery: e2e.* (tracer `discovery.e2e`) --------------------------
+    _k("e2e.broadcast", "counter", "1", "FIND broadcasts issued."),
+    _k("e2e.stale", "counter", "1",
+       "Cached locations that turned out stale."),
+    _k("e2e.timeout", "counter", "1", "Accesses that timed out."),
+    _k("e2e.access_ok", "counter", "1", "Accesses that succeeded."),
+    _k("e2e.access_failed", "counter", "1", "Accesses that failed."),
+    _k("e2e.access_us", "series", "µs", "Per-access latency."),
+    # ---- discovery: identity.* (tracer `discovery.identity`) ----------------
+    _k("identity.timeout", "counter", "1", "Accesses that timed out."),
+    _k("identity.nack", "counter", "1", "Accesses NACKed by the home."),
+    _k("identity.access_ok", "counter", "1", "Accesses that succeeded."),
+    _k("identity.access_failed", "counter", "1", "Accesses that failed."),
+    _k("identity.access_us", "series", "µs", "Per-access latency."),
+    # ---- discovery: controller.* (tracer `discovery.controller`) ------------
+    _k("controller.advertised", "counter", "1",
+       "Object advertisements accepted."),
+    _k("controller.install_failed", "counter", "1",
+       "Route installs the switch rejected."),
+    # ---- discovery: hybrid.* (tracer `discovery.hybrid`) --------------------
+    _k("hybrid.unicast", "counter", "1",
+       "Accesses sent straight to a cached location."),
+    _k("hybrid.identity_routed", "counter", "1",
+       "Accesses that fell back to identity routing."),
+    _k("hybrid.timeout", "counter", "1", "Accesses that timed out."),
+    _k("hybrid.stale", "counter", "1",
+       "Cached locations that turned out stale."),
+    _k("hybrid.access_ok", "counter", "1", "Accesses that succeeded."),
+    _k("hybrid.access_failed", "counter", "1", "Accesses that failed."),
+    _k("hybrid.access_us", "series", "µs", "Per-access latency."),
+    # ---- discovery: home.* (tracer `discovery.home.<host>`) -----------------
+    _k("home.find_answered", "counter", "1", "FIND queries answered."),
+    _k("home.access_served", "counter", "1", "Accesses served locally."),
+    _k("home.not_mine", "counter", "1",
+       "Accesses for objects this home no longer holds."),
+    _k("home.access_forwarded", "counter", "1",
+       "Accesses forwarded to the object's new home."),
+    _k("home.access_nacked", "counter", "1", "Accesses NACKed."),
+)
+
+
+def specs_by_name() -> dict:
+    """``{name: KeySpec}`` for vocabulary lookups."""
+    return {spec.name: spec for spec in VOCABULARY}

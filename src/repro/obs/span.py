@@ -1,0 +1,207 @@
+"""Spans: simulated-time intervals linked into per-invocation trees.
+
+A :class:`Span` is one named phase of a larger operation — the placement
+decision inside an invocation, one stage-in fetch, the compute window —
+with start/end timestamps taken from the *simulation* clock, a parent
+link, and free-form tags.  The :class:`SpanRecorder` allocates span and
+trace identifiers and holds every span recorded during a run; the
+exporters in :mod:`repro.obs.export` turn its contents into JSON lines
+or a Chrome ``trace_event`` file.
+
+The rendezvous runtime emits one span tree per invocation (root span
+``invoke``, trace id = the invocation id), so a cross-host flow that
+touches placement, the network, and a remote executor reads as a single
+timeline.  Because every component shares one simulator — and therefore
+one recorder — a span may be *started* on one host and *finished* on
+another: that is how the ``request`` and ``return`` phases measure the
+wire legs of a remote execution.
+
+All durations are simulated microseconds; see OBSERVABILITY.md for the
+canonical span names and the unit rules.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim import Simulator
+
+__all__ = ["Span", "SpanRecorder"]
+
+
+@dataclass
+class Span:
+    """One named interval of simulated time, with a parent link and tags.
+
+    ``end_us`` is ``None`` until :meth:`finish` is called; an unfinished
+    span usually means the operation it covered failed mid-flight (the
+    root span's ``error`` tag says how).
+    """
+
+    span_id: int
+    name: str
+    trace_id: int
+    start_us: float
+    end_us: Optional[float] = None
+    parent_id: Optional[int] = None
+    node: str = ""
+    tags: Dict[str, Any] = field(default_factory=dict)
+    _recorder: Optional["SpanRecorder"] = field(
+        default=None, repr=False, compare=False)
+
+    @property
+    def finished(self) -> bool:
+        """True once :meth:`finish` has stamped the end time."""
+        return self.end_us is not None
+
+    @property
+    def duration_us(self) -> float:
+        """``end - start`` in simulated microseconds; raises if open."""
+        if self.end_us is None:
+            raise ValueError(f"span {self.name!r} (#{self.span_id}) is not finished")
+        return self.end_us - self.start_us
+
+    def finish(self, **tags: Any) -> "Span":
+        """Stamp the end time from the recorder's clock; merge ``tags``."""
+        if self._recorder is None:
+            raise ValueError(f"span {self.name!r} is not bound to a recorder")
+        self._recorder.finish(self, **tags)
+        return self
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict snapshot (what the JSONL exporter writes)."""
+        return {
+            "span_id": self.span_id,
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "start_us": self.start_us,
+            "end_us": self.end_us,
+            "parent_id": self.parent_id,
+            "node": self.node,
+            "tags": dict(self.tags),
+        }
+
+
+class SpanRecorder:
+    """Allocates, stores, and indexes every span of one simulation.
+
+    One recorder per :class:`~repro.sim.Simulator` is the intended shape
+    (the runtime owns one); timestamps always come from ``sim.now``, so
+    span ordering is exactly event-loop ordering.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._spans: List[Span] = []
+        self._by_id: Dict[int, Span] = {}
+        self._span_ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
+
+    # -- recording -----------------------------------------------------------
+    def start(self, name: str, *, parent: Optional[Union[Span, int]] = None,
+              trace_id: Optional[int] = None, node: str = "",
+              **tags: Any) -> Span:
+        """Open a span at the current simulated instant.
+
+        ``parent`` may be a :class:`Span` or a span id (ids travel in
+        packet payloads for cross-host phases).  ``trace_id`` defaults to
+        the parent's trace, or a fresh trace for a root span.
+        """
+        parent_span: Optional[Span] = None
+        if isinstance(parent, int):
+            parent_span = self.get(parent)
+        elif parent is not None:
+            parent_span = parent
+        if trace_id is None:
+            trace_id = (parent_span.trace_id if parent_span is not None
+                        else next(self._trace_ids))
+        span = Span(
+            span_id=next(self._span_ids),
+            name=name,
+            trace_id=trace_id,
+            start_us=self.sim.now,
+            parent_id=parent_span.span_id if parent_span is not None else None,
+            node=node,
+            tags=dict(tags),
+            _recorder=self,
+        )
+        self._spans.append(span)
+        self._by_id[span.span_id] = span
+        return span
+
+    def finish(self, span: Span, **tags: Any) -> Span:
+        """Close ``span`` at the current simulated instant (idempotent
+        guard: finishing twice is an error — phases do not reopen)."""
+        if span.end_us is not None:
+            raise ValueError(f"span {span.name!r} (#{span.span_id}) already finished")
+        span.end_us = self.sim.now
+        if tags:
+            span.tags.update(tags)
+        return span
+
+    def finish_id(self, span_id: int, **tags: Any) -> Span:
+        """Close the span with id ``span_id`` (cross-host completion)."""
+        return self.finish(self.get(span_id), **tags)
+
+    # -- lookup --------------------------------------------------------------
+    def get(self, span_id: int) -> Span:
+        """Span by id; raises ``KeyError`` if unknown."""
+        return self._by_id[span_id]
+
+    def spans(self, trace_id: Optional[int] = None) -> List[Span]:
+        """All spans (a copy), optionally restricted to one trace, in
+        start order (creation order == simulator event order)."""
+        if trace_id is None:
+            return list(self._spans)
+        return [s for s in self._spans if s.trace_id == trace_id]
+
+    def children(self, span: Union[Span, int]) -> List[Span]:
+        """Direct children of ``span``, in start order."""
+        span_id = span.span_id if isinstance(span, Span) else span
+        return [s for s in self._spans if s.parent_id == span_id]
+
+    def root(self, trace_id: int) -> Span:
+        """The root span of a trace; raises if absent or ambiguous."""
+        roots = [s for s in self._spans
+                 if s.trace_id == trace_id and s.parent_id is None]
+        if not roots:
+            raise KeyError(f"no root span for trace {trace_id}")
+        if len(roots) > 1:
+            raise ValueError(f"trace {trace_id} has {len(roots)} roots")
+        return roots[0]
+
+    def tree(self, trace_id: int) -> Dict[str, Any]:
+        """The trace as nested dicts: each node is ``span.as_dict()``
+        plus a ``children`` list — handy for asserting structure."""
+        def expand(span: Span) -> Dict[str, Any]:
+            entry = span.as_dict()
+            entry["children"] = [expand(c) for c in self.children(span)]
+            return entry
+        return expand(self.root(trace_id))
+
+    def phases(self, trace_id: int) -> Dict[str, float]:
+        """Durations of the root's direct children, by span name.
+
+        For an invocation trace the phases tile the root interval, so
+        ``sum(phases.values())`` reconciles with the invocation latency
+        (the acceptance check exercised in ``tests/test_obs.py``).
+        """
+        out: Dict[str, float] = {}
+        for child in self.children(self.root(trace_id)):
+            out[child.name] = out.get(child.name, 0.0) + child.duration_us
+        return out
+
+    def reset(self) -> None:
+        """Drop every recorded span (id counters keep advancing)."""
+        self._spans.clear()
+        self._by_id.clear()
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __repr__(self) -> str:
+        open_count = sum(1 for s in self._spans if not s.finished)
+        return f"<SpanRecorder spans={len(self._spans)} open={open_count}>"

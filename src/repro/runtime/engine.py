@@ -36,6 +36,16 @@ from ..core.refs import GlobalRef
 from ..core.security import PolicyRegistry
 from ..core.space import ObjectSpace
 from ..core.objectid import IDAllocator
+from ..obs.keys import (
+    K_INVOCATIONS,
+    K_INVOKE_US,
+    K_PLACED_AT,
+    SPAN_INVOKE,
+    SPAN_PLACEMENT,
+    SPAN_REQUEST,
+    SPAN_RETURN,
+)
+from ..obs.span import SpanRecorder
 from ..sim import Simulator, Tracer
 from ..net.packet import Packet
 from ..net.topology import Network
@@ -86,6 +96,13 @@ class GlobalSpaceRuntime:
         self.allocator = IDAllocator(seed=allocator_seed)
         self.lazy_touch_fraction = lazy_touch_fraction
         self.tracer = Tracer()
+        self.spans = SpanRecorder(self.sim)
+        # The network owns the cluster-wide registry; the runtime joins
+        # it (replace=True: a rebuilt runtime over a reused network wins).
+        self.metrics = network.metrics
+        self.metrics.register("runtime.engine", self.tracer, replace=True)
+        self.metrics.register("core.placement", self.placement.tracer,
+                              replace=True)
         self.nodes: Dict[str, ClusterNode] = {}
         self._base_profiles: Dict[str, NodeProfile] = {}
         self.locations: Dict[ObjectID, Set[str]] = {}
@@ -102,6 +119,8 @@ class GlobalSpaceRuntime:
         space = ObjectSpace(self.allocator, host_name=host_name)
         node = ClusterNode(self, host, space)
         self.nodes[host_name] = node
+        self.metrics.register(f"runtime.node.{host_name}", node.tracer,
+                              replace=True)
         self._base_profiles[host_name] = NodeProfile(
             name=host_name, speed=speed, capacity_bytes=capacity_bytes,
             can_execute=can_execute,
@@ -282,52 +301,77 @@ class GlobalSpaceRuntime:
             raise RuntimeError_(f"pinned arguments not in data_refs: {sorted(unknown_pins)}")
         start = self.sim.now
         invoke_id = next(self._invoke_ids)
+        # One span tree per invocation, trace id == invoke id.  The
+        # phases (placement / request / stage_in / queue / compute /
+        # return) tile [start, end], so their durations sum to
+        # ``latency_us`` — the reconciliation OBSERVABILITY.md promises.
+        root = self.spans.start(SPAN_INVOKE, trace_id=invoke_id,
+                                node=invoker, invoker=invoker, mode=mode)
+        try:
+            # Confidentiality constrains placement: the executor must be
+            # allowed to read every input (and the code object).
+            candidate_names = set(candidates) if candidates is not None else set(self.nodes)
+            for ref in list(data_refs.values()) + [code_ref]:
+                candidate_names = self.policies.readable_nodes(ref.oid, candidate_names)
+            if not candidate_names:
+                raise PlacementError(
+                    "no candidate node may read every input under the current ACLs")
+            candidates = sorted(candidate_names)
 
-        # Confidentiality constrains placement: the executor must be
-        # allowed to read every input (and the code object).
-        candidate_names = set(candidates) if candidates is not None else set(self.nodes)
-        for ref in list(data_refs.values()) + [code_ref]:
-            candidate_names = self.policies.readable_nodes(ref.oid, candidate_names)
-        if not candidate_names:
-            raise PlacementError(
-                "no candidate node may read every input under the current ACLs")
-        candidates = sorted(candidate_names)
+            scale = 1.0 if mode == MODE_EAGER else self.lazy_touch_fraction
+            request = PlacementRequest(
+                code=self._placement_item(code_ref),
+                inputs=tuple(
+                    self._placement_item(ref, scale=scale, pinned=(name in pinned))
+                    for name, ref in data_refs.items()
+                ),
+                invoker=invoker,
+                result_bytes=result_bytes,
+                flops=flops,
+            )
+            # Deciding costs no simulated time: a zero-width span that
+            # records what was decided (error-finished by the handler
+            # below if the decision fails).
+            pspan = self.spans.start(SPAN_PLACEMENT, parent=root, node=invoker)
+            decision = self.placement.decide(
+                request, self.live_profiles(candidates),
+                self._effective_distance)
+            self.spans.finish(pspan, node=decision.node,
+                              considered=len(candidates),
+                              est_total_us=decision.total_us)
+            self.tracer.count(K_INVOCATIONS)
+            self.tracer.count(f"{K_PLACED_AT}{decision.node}")
 
-        scale = 1.0 if mode == MODE_EAGER else self.lazy_touch_fraction
-        request = PlacementRequest(
-            code=self._placement_item(code_ref),
-            inputs=tuple(
-                self._placement_item(ref, scale=scale, pinned=(name in pinned))
-                for name, ref in data_refs.items()
-            ),
-            invoker=invoker,
-            result_bytes=result_bytes,
-            flops=flops,
-        )
-        decision = self.placement.decide(
-            request, self.live_profiles(candidates), self._effective_distance)
-        self.tracer.count("runtime.invocations")
-        self.tracer.count(f"runtime.placed_at.{decision.node}")
+            stage: List[ObjectID] = [code_ref.oid]
+            if mode == MODE_EAGER:
+                stage.extend(ref.oid for ref in data_refs.values()
+                             if decision.node not in self.holders(ref.oid))
+            compute_us = decision.compute_us
 
-        stage: List[ObjectID] = [code_ref.oid]
-        if mode == MODE_EAGER:
-            stage.extend(ref.oid for ref in data_refs.values()
-                         if decision.node not in self.holders(ref.oid))
-        compute_us = decision.compute_us
-
-        executor = self.node(decision.node)
-        decode_args = list(decode_args)
-        if decision.node == invoker:
-            result = yield from executor.stage_and_execute(
-                code_ref.oid, stage, data_refs, values, compute_us,
-                decode_args=decode_args, materialize=materialize_result)
-        else:
-            result = yield from self._remote_exec(
-                invoker, decision.node, code_ref.oid, stage, data_refs,
-                values, compute_us, result_bytes,
-                decode_args=decode_args, materialize=materialize_result)
+            executor = self.node(decision.node)
+            decode_args = list(decode_args)
+            if decision.node == invoker:
+                result = yield from executor.stage_and_execute(
+                    code_ref.oid, stage, data_refs, values, compute_us,
+                    decode_args=decode_args, materialize=materialize_result,
+                    span=root)
+                # Local result handoff is free: zero-width return phase.
+                self.spans.start(SPAN_RETURN, parent=root,
+                                 node=invoker).finish(local=True)
+            else:
+                result = yield from self._remote_exec(
+                    invoker, decision.node, code_ref.oid, stage, data_refs,
+                    values, compute_us, result_bytes,
+                    decode_args=decode_args, materialize=materialize_result,
+                    span=root)
+        except BaseException as exc:
+            for span in self.spans.spans(root.trace_id):
+                if not span.finished:
+                    self.spans.finish(span, error=type(exc).__name__)
+            raise
         latency = self.sim.now - start
-        self.tracer.sample("runtime.invoke_us", latency, self.sim.now)
+        self.tracer.sample(K_INVOKE_US, latency, self.sim.now)
+        self.spans.finish(root, latency_us=latency, executed_at=decision.node)
         return InvokeResult(
             value=result, executed_at=decision.node, latency_us=latency,
             decision=decision, invoke_id=invoke_id,
@@ -337,28 +381,44 @@ class GlobalSpaceRuntime:
                      stage: List[ObjectID], data_refs: Dict[str, GlobalRef],
                      values: Dict[str, Any], compute_us: float,
                      result_bytes: int, decode_args: List[str] = [],
-                     materialize: bool = False):
+                     materialize: bool = False, span=None):
         node = self.node(invoker)
         req_id, future = node._new_future()
         wire_values = encode(values)
+        payload = {
+            "req_id": req_id,
+            "code_oid": str(code_oid),
+            "stage": [str(oid) for oid in stage],
+            "refs": {name: (str(ref.oid), ref.offset, ref.mode)
+                     for name, ref in data_refs.items()},
+            "args": wire_values,
+            "compute_us": compute_us,
+            "result_bytes": result_bytes,
+            "decode": decode_args,
+            "materialize": materialize,
+        }
+        if span is not None:
+            # The request span measures the outbound wire leg: opened
+            # here, finished by the executor when it starts serving.
+            # Span ids ride the payload but are accounting metadata, not
+            # protocol bytes — payload_bytes stays exactly as before so
+            # simulated latencies are unchanged by tracing.
+            req_span = self.spans.start(SPAN_REQUEST, parent=span,
+                                        node=invoker, executor=executor)
+            payload["span_parent"] = span.span_id
+            payload["span_request"] = req_span.span_id
         node.host.send(Packet(
             kind=m.KIND_EXEC_REQ, src=invoker, dst=executor,
-            payload={
-                "req_id": req_id,
-                "code_oid": str(code_oid),
-                "stage": [str(oid) for oid in stage],
-                "refs": {name: (str(ref.oid), ref.offset, ref.mode)
-                         for name, ref in data_refs.items()},
-                "args": wire_values,
-                "compute_us": compute_us,
-                "result_bytes": result_bytes,
-                "decode": decode_args,
-                "materialize": materialize,
-            },
+            payload=payload,
             payload_bytes=m.EXEC_REQ_OVERHEAD_BYTES + len(wire_values)
             + 24 * len(data_refs),
         ))
         reply = yield future
+        ret_span = reply.payload.get("ret_span")
+        if ret_span is not None:
+            # Closing the executor-opened return span here stamps the
+            # reply's arrival instant — the inbound wire leg.
+            self.spans.finish_id(ret_span)
         result = decode(reply.payload["result"])
         if not reply.payload["ok"]:
             raise RuntimeError_(f"remote execution on {executor} failed: {result}")

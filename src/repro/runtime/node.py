@@ -31,6 +31,13 @@ from ..core.objects import MemObject
 from ..core.refs import GlobalRef
 from ..core.security import AccessDenied
 from ..core.space import ObjectSpace
+from ..obs.keys import (
+    SPAN_COMPUTE,
+    SPAN_FETCH,
+    SPAN_QUEUE,
+    SPAN_RETURN,
+    SPAN_STAGE_IN,
+)
 from ..sim import AnyOf, Future, Simulator, Timeout, Tracer
 from ..net.host import Host
 from ..net.packet import Packet
@@ -177,22 +184,39 @@ class ClusterNode:
         compute_us = packet.payload["compute_us"]
         decode_args = packet.payload.get("decode", [])
         materialize = packet.payload.get("materialize", False)
+        # Cross-host span plumbing: the invoker opened the root and the
+        # request span; serving starts now, so the request (wire) leg
+        # ends here.  The recorder is shared through the runtime.
+        span_parent = packet.payload.get("span_parent")
+        span_request = packet.payload.get("span_request")
+        parent = None
+        if span_parent is not None:
+            if span_request is not None:
+                self.runtime.spans.finish_id(span_request)
+            parent = self.runtime.spans.get(span_parent)
         try:
             result = yield from self.stage_and_execute(
                 code_oid, stage, refs, values, compute_us,
-                decode_args=decode_args, materialize=materialize)
+                decode_args=decode_args, materialize=materialize, span=parent)
             ok, wire_result = True, encode(result)
         except Exception as exc:
             ok, wire_result = False, encode(str(exc))
+        payload = {"req_id": req_id, "ok": ok, "result": wire_result}
+        if parent is not None:
+            # The return span opens as the reply leaves and is finished
+            # by the invoker on arrival — the inbound wire leg.
+            ret = self.runtime.spans.start(SPAN_RETURN, parent=parent,
+                                           node=self.name, ok=ok)
+            payload["ret_span"] = ret.span_id
         self.host.send(Packet(
             kind=m.KIND_EXEC_RSP, src=self.name, dst=packet.src,
-            payload={"req_id": req_id, "ok": ok, "result": wire_result},
+            payload=payload,
             payload_bytes=m.RSP_OVERHEAD_BYTES + len(wire_result),
         ))
 
     def stage_and_execute(self, code_oid: ObjectID, stage, refs, values,
                           compute_us: float, decode_args=(),
-                          materialize: bool = False):
+                          materialize: bool = False, span=None):
         """Process: pull every staged object here (in parallel), then run.
 
         ``refs`` (name -> GlobalRef) and ``values`` (name -> plain value)
@@ -203,25 +227,45 @@ class ClusterNode:
         fresh local object and only its descriptor is returned — the
         §5 query-planning pattern: intermediates stay where they were
         produced until the next stage pulls them.
+
+        ``span`` is the invocation's root span; when given, the
+        stage_in / queue / compute phases are recorded under it (spans
+        left open by a failure are error-finished by the invoker).
         """
         from ..sim import AllOf
 
+        rec = self.runtime.spans if span is not None else None
+        stage_span = (rec.start(SPAN_STAGE_IN, parent=span, node=self.name)
+                      if rec is not None else None)
+        staged = 0
         missing = [oid for oid in stage if oid not in self.space]
         if missing:
             fetches = [
-                self.sim.spawn(self.fetch_object(oid), name=f"stage-{oid.short()}")
+                self.sim.spawn(self.fetch_object(oid, span=stage_span),
+                               name=f"stage-{oid.short()}")
                 for oid in missing
             ]
             yield AllOf(fetches)
+            staged += len(missing)
         args: Dict[str, Any] = dict(values)
         args.update(refs)
         for name in decode_args:
             ref = refs[name]
             if ref.oid not in self.space:
-                yield self.sim.spawn(self.fetch_object(ref.oid),
+                yield self.sim.spawn(self.fetch_object(ref.oid, span=stage_span),
                                      name=f"decode-{ref.oid.short()}")
+                staged += 1
             obj = self.space.get(ref.oid)
             args[name] = decode(obj.read(0, obj.size))
+        compute_span = None
+        if rec is not None:
+            rec.finish(stage_span, objects=staged)
+            # Zero-width queue point: what the executor's load looked
+            # like the instant this job reached the front.
+            rec.start(SPAN_QUEUE, parent=span, node=self.name,
+                      active_jobs=self.active_jobs).finish()
+            compute_span = rec.start(SPAN_COMPUTE, parent=span,
+                                     node=self.name, compute_us=compute_us)
         result = yield from self.execute(code_oid, args, compute_us)
         if materialize:
             wire = encode(result)
@@ -229,7 +273,11 @@ class ClusterNode:
                                              label="intermediate")
             out.write(0, wire)
             self.tracer.count("node.materialized")
+            if compute_span is not None:
+                rec.finish(compute_span, materialized=True)
             return {"__materialized__": str(out.oid), "size": out.size}
+        if compute_span is not None:
+            rec.finish(compute_span)
         return result
 
     # -- execution ----------------------------------------------------------
@@ -259,14 +307,22 @@ class ClusterNode:
         return result
 
     # -- client-side primitives ------------------------------------------------
-    def fetch_object(self, oid: ObjectID, holder: Optional[str] = None):
+    def fetch_object(self, oid: ObjectID, holder: Optional[str] = None,
+                     span=None):
         """Process: pull a full object image into our space.
 
         Tries the nearest holder first; on a NACK or timeout (crashed or
         stale holder — the §5 partial-failure case) it fails over to the
-        remaining replicas before giving up.
+        remaining replicas before giving up.  ``span`` (usually the
+        stage_in phase) parents a per-object fetch span.
         """
+        fetch_span = None
+        if span is not None:
+            fetch_span = self.runtime.spans.start(
+                SPAN_FETCH, parent=span, node=self.name, oid=oid.short())
         if oid in self.space:
+            if fetch_span is not None:
+                fetch_span.finish(cached=True)
             return self.space.get(oid)
         if holder is not None:
             sources = [holder]
@@ -298,7 +354,11 @@ class ClusterNode:
             obj = self.space.import_object(reply.payload["wire"], replace=True)
             self.tracer.count("node.fetched")
             self.runtime.note_copy(oid, self.name)
+            if fetch_span is not None:
+                fetch_span.finish(source=source, bytes=obj.wire_size)
             return obj
+        if fetch_span is not None:
+            fetch_span.finish(error=True)
         raise last_error if last_error is not None else RuntimeError_(
             f"no source for object {oid.short()}")
 

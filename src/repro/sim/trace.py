@@ -3,6 +3,13 @@
 Every experiment in the benchmark harness reads its numbers from these
 collectors rather than from ad-hoc prints, so the same instrumentation
 feeds the unit tests and the figure-regeneration benches.
+
+Tracers are the *local* collectors; the cluster-wide view lives one
+layer up in :mod:`repro.obs` — a ``MetricsRegistry`` names every tracer
+hierarchically and snapshots them together, and ``Span`` trees record
+per-invocation timelines on top of the same simulated clock.  The
+canonical key vocabulary both layers share is documented in
+OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -16,7 +23,14 @@ __all__ = ["Counter", "SampleSeries", "Tracer", "summarize", "percentile"]
 
 
 def percentile(values: List[float], pct: float) -> float:
-    """Nearest-rank percentile of ``values`` (``pct`` in [0, 100])."""
+    """Nearest-rank percentile of ``values`` (``pct`` in [0, 100]).
+
+    Nearest-rank means the result is always one of the samples: the
+    value at (1-based) rank ``ceil(pct/100 * n)`` in sorted order.  At
+    the ``pct == 0.0`` edge that formula would yield rank 0, which does
+    not exist, so p0 is defined as the minimum (rank 1) — consistent
+    with the rank floor applied everywhere else.
+    """
     if not values:
         raise ValueError("percentile of empty series")
     if not 0.0 <= pct <= 100.0:
@@ -88,7 +102,8 @@ class Counter:
         self._counts[key] += amount
 
     def get(self, key: str) -> int:
-        """Return the stored value for ``key`` (0/None when absent)."""
+        """Return the stored value for ``key`` (0 when absent — never
+        ``None``, so results are safe to add and compare directly)."""
         return self._counts.get(key, 0)
 
     def as_dict(self) -> Dict[str, int]:

@@ -1,8 +1,11 @@
 """Smoke-run every example script: each must complete and print its
-narrative (the examples carry their own internal assertions)."""
+narrative (the examples carry their own internal assertions) — plus the
+``python -m repro`` CLI subcommands."""
 
+import json
 import pathlib
 import runpy
+import types
 
 import pytest
 
@@ -28,3 +31,70 @@ def test_expected_example_set_present():
         "crdt_replication.py",
         "private_models.py",
     } <= set(EXAMPLES)
+
+
+# ---------------------------------------------------------------------------
+# python -m repro
+# ---------------------------------------------------------------------------
+
+def test_cli_selfcheck_is_default_and_succeeds(capsys):
+    from repro.__main__ import main
+
+    assert main([]) == 0                       # bare invocation
+    assert main(["--seed", "5"]) == 0          # flags imply selfcheck
+    assert main(["selfcheck", "--seed", "2"]) == 0
+    output = capsys.readouterr().out
+    assert "rendezvous invoke: ok" in output
+    assert "all good" in output
+
+
+def test_cli_selfcheck_exits_nonzero_on_failure(capsys, monkeypatch):
+    import repro.discovery
+    from repro.__main__ import main
+
+    def broken_sweep(scheme, new_pct, n_accesses=100, **kwargs):
+        return types.SimpleNamespace(
+            failures=3, mean_rtt_us=0.0, broadcasts_per_100=0.0)
+
+    monkeypatch.setattr(repro.discovery, "run_fig2_point", broken_sweep)
+    assert main(["selfcheck"]) == 1
+    output = capsys.readouterr().out
+    assert "FAILED" in output
+
+
+def test_cli_report_prints_cluster_snapshot(capsys):
+    from repro.__main__ import main
+
+    assert main(["report", "--seed", "3"]) == 0
+    output = capsys.readouterr().out
+    assert "cluster report" in output
+    assert "runtime.engine:runtime.invocations" in output
+    assert "net.host.n0:host.tx_bytes" in output
+
+
+def test_cli_report_jsonl_parses(capsys):
+    from repro.__main__ import main
+
+    assert main(["report", "--jsonl"]) == 0
+    lines = capsys.readouterr().out.splitlines()
+    parsed = [json.loads(line) for line in lines if line]
+    assert parsed
+    assert {entry["type"] for entry in parsed} <= {"counter", "series"}
+
+
+@pytest.mark.parametrize("example", ["quickstart", "pipeline"])
+def test_cli_trace_writes_valid_chrome_trace(example, tmp_path, capsys):
+    from repro.__main__ import main
+    from repro.obs import chrome_trace_to_spans
+
+    out = tmp_path / f"{example}.json"
+    assert main(["trace", example, "--out", str(out)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    with open(out, encoding="utf-8") as fh:
+        document = json.load(fh)
+    spans = chrome_trace_to_spans(document)
+    assert spans                                    # reimportable
+    roots = [s for s in spans if s.parent_id is None]
+    assert len(roots) == (1 if example == "quickstart" else 2)
+    for root in roots:
+        assert root.name == "invoke"
