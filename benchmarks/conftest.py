@@ -5,7 +5,7 @@ with ``-s`` to see them) and asserts the *shape* claims, so a silent run
 still verifies the reproduction.
 """
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, Sequence
 
 
 def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:

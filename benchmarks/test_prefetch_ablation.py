@@ -28,8 +28,8 @@ from repro.core import (
 )
 from repro.net import build_star
 from repro.runtime import GlobalSpaceRuntime
-from repro.sim import AllOf, Simulator, Timeout
-from repro.workloads import build_linked_list, local_traverse
+from repro.sim import Simulator, Timeout
+from repro.workloads import build_linked_list
 
 from conftest import bench_check, print_table
 

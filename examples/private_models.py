@@ -22,7 +22,6 @@ from repro import (
     Simulator,
     build_star,
 )
-from repro.core import AccessDenied
 from repro.runtime import RuntimeError_
 
 

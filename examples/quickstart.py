@@ -19,7 +19,7 @@ from repro import (
     Simulator,
     build_star,
 )
-from repro.core import IDAllocator, MemObject, ObjectSpace
+from repro.core import IDAllocator, ObjectSpace
 
 
 def part_one_objects_and_pointers():

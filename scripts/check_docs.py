@@ -16,6 +16,10 @@ Three checks, each of which must pass for the vocabulary to be trusted:
    ``.record(`` call sites in the files listed below) must be in the
    vocabulary, either exactly or via a ``<prefix>.*`` family.
 
+A fourth check holds BENCHMARKS.md in the same discipline: the rows of
+its "## Scenario catalogue" table must list exactly the scenarios the
+bench runner registers (``repro.bench.scenario_names()``).
+
 Run directly (exit 0/1) or through ``tests/test_check_docs.py``.
 """
 
@@ -29,6 +33,7 @@ from typing import Dict, List, Tuple
 REPO = pathlib.Path(__file__).resolve().parent.parent
 SRC = REPO / "src" / "repro"
 DOC = REPO / "OBSERVABILITY.md"
+BENCH_DOC = REPO / "BENCHMARKS.md"
 
 sys.path.insert(0, str(REPO / "src"))
 
@@ -177,11 +182,42 @@ def check_emitted_keys_documented() -> List[str]:
     return problems
 
 
+def parse_bench_doc_scenarios() -> List[str]:
+    """Scenario names from BENCHMARKS.md's "## Scenario catalogue" table."""
+    names: List[str] = []
+    in_catalogue = False
+    for line in BENCH_DOC.read_text(encoding="utf-8").splitlines():
+        if line.startswith("## "):
+            in_catalogue = line.strip() == "## Scenario catalogue"
+            continue
+        if not in_catalogue:
+            continue
+        match = re.match(r"^\|\s*`([^`]+)`\s*\|", line)
+        if match:
+            names.append(match.group(1))
+    return names
+
+
+def check_bench_docs_match_registry() -> List[str]:
+    from repro.bench import scenario_names
+    documented = parse_bench_doc_scenarios()
+    registered = scenario_names()
+    problems = []
+    for name in sorted(set(registered) - set(documented)):
+        problems.append(f"bench scenario {name!r} is registered but not in "
+                        f"BENCHMARKS.md's catalogue table")
+    for name in sorted(set(documented) - set(registered)):
+        problems.append(f"bench scenario {name!r} is in BENCHMARKS.md but "
+                        f"not registered in repro.bench")
+    return problems
+
+
 def run_all() -> List[str]:
-    """All problems from all three checks (empty means consistent)."""
+    """All problems from all four checks (empty means consistent)."""
     return (check_docs_match_code()
             + check_documented_keys_emitted()
-            + check_emitted_keys_documented())
+            + check_emitted_keys_documented()
+            + check_bench_docs_match_registry())
 
 
 def main() -> int:
@@ -192,8 +228,10 @@ def main() -> int:
             print(f"  {problem}")
         return 1
     n_keys = len(keymod.VOCABULARY)
+    n_scenarios = len(parse_bench_doc_scenarios())
     print(f"check_docs: OBSERVABILITY.md and repro.obs.keys agree "
-          f"({n_keys} keys, {len(INSTRUMENTED)} instrumented files)")
+          f"({n_keys} keys, {len(INSTRUMENTED)} instrumented files); "
+          f"BENCHMARKS.md and repro.bench agree ({n_scenarios} scenarios)")
     return 0
 
 

@@ -10,6 +10,11 @@ Subcommands (``selfcheck`` is the default when none is given):
 * ``trace {quickstart,pipeline} [--seed N] [--out FILE]`` — runs an
   example workload and writes its invocation span trees as a Chrome
   ``trace_event`` file (open in chrome://tracing or Perfetto).
+* ``bench [--quick] [--filter PAT] [--json FILE] [--wall] [--list]`` —
+  runs the deterministic benchmark catalogue and optionally writes a
+  schema-versioned ``BENCH.json``; ``bench compare BASELINE CANDIDATE``
+  diffs two result files and exits non-zero past the regression
+  threshold.  See BENCHMARKS.md.
 
 See OBSERVABILITY.md for what the emitted keys and spans mean.
 """
@@ -166,6 +171,38 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (BenchError, compare_files, dump_document,
+                             results_document, run_scenarios, scenario_names,
+                             select)
+
+    if getattr(args, "bench_command", None) == "compare":
+        return compare_files(args.baseline, args.candidate,
+                             threshold=args.threshold,
+                             wall_threshold=args.wall_threshold)
+    if args.list:
+        for name in scenario_names():
+            print(name)
+        return 0
+    try:
+        specs = select(args.filter)
+    except BenchError as exc:
+        print(f"bench: {exc}", file=sys.stderr)
+        return 2
+    mode = "quick" if args.quick else "full"
+    print(f"repro bench: {len(specs)} scenario(s), seed {args.seed}, {mode} mode")
+    records = run_scenarios(specs, seed=args.seed, quick=args.quick,
+                            report=print)
+    if args.json:
+        document = results_document(records, seed=args.seed, quick=args.quick,
+                                    include_wall=args.wall)
+        dump_document(document, args.json)
+        determinism = ("includes wall-clock fields (NOT byte-stable)"
+                       if args.wall else "deterministic for this seed")
+        print(f"wrote {args.json} ({determinism})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -196,6 +233,37 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--out", default=None,
                        help="output path (default trace_<example>.json)")
     trace.set_defaults(fn=cmd_trace)
+
+    bench = sub.add_parser(
+        "bench", help="run the deterministic benchmark catalogue")
+    bench.add_argument("--quick", action="store_true",
+                       help="CI-sized scales (seconds, not minutes)")
+    bench.add_argument("--filter", default=None, metavar="PAT",
+                       help="run only scenarios matching PAT "
+                            "(substring or glob)")
+    bench.add_argument("--json", default=None, metavar="FILE",
+                       help="write results to FILE (deterministic for a "
+                            "fixed seed unless --wall is given)")
+    bench.add_argument("--seed", type=int, default=1,
+                       help="simulation seed (default 1)")
+    bench.add_argument("--wall", action="store_true",
+                       help="include wall-clock fields in the JSON "
+                            "(breaks byte-stability)")
+    bench.add_argument("--list", action="store_true",
+                       help="list scenario names and exit")
+    bench.set_defaults(fn=cmd_bench)
+    bench_sub = bench.add_subparsers(dest="bench_command")
+    compare = bench_sub.add_parser(
+        "compare", help="diff two BENCH.json files; exit 1 past threshold")
+    compare.add_argument("baseline", help="baseline BENCH.json")
+    compare.add_argument("candidate", help="candidate BENCH.json")
+    compare.add_argument("--threshold", type=float, default=0.10,
+                         help="max tolerated drop in the simulated rate "
+                              "(default 0.10 = 10%%)")
+    compare.add_argument("--wall-threshold", type=float, default=0.30,
+                         help="max tolerated drop in the wall rate when "
+                              "both files carry one (default 0.30)")
+    compare.set_defaults(fn=cmd_bench)
     return parser
 
 

@@ -1,0 +1,215 @@
+"""The deterministic benchmark runner behind ``python -m repro bench``.
+
+Scenarios are registered by name (see :mod:`repro.bench.scenarios`) and
+each produces a :class:`ScenarioResult`: how many operations the run
+performed, how much simulated time elapsed, and which observability
+counters it wants recorded.  The runner wraps every scenario with a
+wall-clock measurement and assembles a schema-versioned document:
+
+* **deterministic fields** — ``ops``, ``sim_time_us``,
+  ``ops_per_sim_sec``, and ``counters`` depend only on the seed, so a
+  ``BENCH.json`` written without ``--wall`` is byte-identical across
+  same-seed runs (CI relies on this, and tests assert it);
+* **wall-clock fields** — ``ops_per_wall_sec`` and the
+  simulated-vs-wall ``sim_wall_ratio`` are always printed to stdout
+  and included in the JSON only under ``--wall``, since they vary
+  run-to-run.
+
+The regression gate lives in :mod:`repro.bench.compare`, which diffs
+two such documents and exits non-zero past a threshold.  BENCHMARKS.md
+documents the scenario catalogue and the schema.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from typing import Callable, Dict, List, Optional
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchError",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "register",
+    "scenario_names",
+    "select",
+    "run_scenarios",
+    "results_document",
+    "dump_document",
+]
+
+#: Bumped whenever the document layout changes; compare refuses to diff
+#: documents with different schema versions.
+SCHEMA_VERSION = "repro-bench/1"
+
+#: Float fields are rounded to this many decimals before serialization —
+#: purely cosmetic (Python float repr is already deterministic).
+_ROUND = 3
+
+
+class BenchError(Exception):
+    """Unknown scenarios, empty selections, malformed result files."""
+
+
+@dataclass
+class ScenarioResult:
+    """What one scenario run measured (everything here is seed-deterministic)."""
+
+    ops: int
+    sim_time_us: float
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def ops_per_sim_sec(self) -> float:
+        """Operations per *simulated* second (the deterministic rate)."""
+        if self.sim_time_us <= 0:
+            return 0.0
+        return self.ops / (self.sim_time_us / 1e6)
+
+
+@dataclass
+class ScenarioSpec:
+    """A named benchmark: a function plus its quick/full parameter sets."""
+
+    name: str
+    description: str
+    fn: Callable[[int, dict], ScenarioResult]
+    quick: dict
+    full: dict
+
+    def run(self, seed: int, use_quick: bool) -> ScenarioResult:
+        return self.fn(seed, dict(self.quick if use_quick else self.full))
+
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register(name: str, description: str, quick: dict, full: dict):
+    """Decorator registering a scenario function under ``name``."""
+
+    def wrap(fn: Callable[[int, dict], ScenarioResult]):
+        if name in _REGISTRY:
+            raise BenchError(f"scenario {name!r} already registered")
+        _REGISTRY[name] = ScenarioSpec(name, description, fn, quick, full)
+        return fn
+
+    return wrap
+
+
+def scenario_names() -> List[str]:
+    """Sorted names of every registered scenario."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def select(pattern: Optional[str] = None) -> List[ScenarioSpec]:
+    """Scenarios whose name matches ``pattern`` (substring or glob);
+    all of them when ``pattern`` is None."""
+    _ensure_loaded()
+    specs = [_REGISTRY[name] for name in sorted(_REGISTRY)]
+    if pattern is None:
+        return specs
+    picked = [s for s in specs
+              if pattern in s.name or fnmatch(s.name, pattern)]
+    if not picked:
+        raise BenchError(
+            f"no scenario matches {pattern!r} "
+            f"(have: {', '.join(sorted(_REGISTRY))})")
+    return picked
+
+
+def _ensure_loaded() -> None:
+    # Scenario definitions self-register on import; deferred so that
+    # `import repro.bench` stays cheap for non-bench users.
+    from . import scenarios  # noqa: F401
+
+
+def run_scenarios(
+    specs: List[ScenarioSpec],
+    seed: int = 1,
+    quick: bool = False,
+    report: Optional[Callable[[str], None]] = None,
+) -> Dict[str, dict]:
+    """Run ``specs`` in name order; returns ``{name: record}``.
+
+    Each record carries the deterministic fields plus a ``wall`` section
+    (stripped before deterministic serialization by
+    :func:`results_document` unless wall output was requested).
+    """
+    records: Dict[str, dict] = {}
+    for spec in specs:
+        start = time.perf_counter()
+        result = spec.run(seed, quick)
+        wall_s = time.perf_counter() - start
+        sim_s = result.sim_time_us / 1e6
+        record = {
+            "description": spec.description,
+            "ops": result.ops,
+            "sim_time_us": round(result.sim_time_us, _ROUND),
+            "ops_per_sim_sec": round(result.ops_per_sim_sec(), _ROUND),
+            "counters": dict(sorted(result.counters.items())),
+            "wall": {
+                "wall_s": round(wall_s, 6),
+                "ops_per_wall_sec": round(result.ops / wall_s, _ROUND)
+                if wall_s > 0 else 0.0,
+                "sim_wall_ratio": round(sim_s / wall_s, 6)
+                if wall_s > 0 else 0.0,
+            },
+        }
+        records[spec.name] = record
+        if report is not None:
+            wall = record["wall"]
+            report(
+                f"  {spec.name:28s} {result.ops:>9d} ops  "
+                f"{wall['ops_per_wall_sec']:>14,.0f} ops/s wall  "
+                f"{record['ops_per_sim_sec']:>14,.0f} ops/s sim  "
+                f"(x{wall['sim_wall_ratio']:.2f} real-time)")
+    return records
+
+
+def results_document(
+    records: Dict[str, dict],
+    seed: int,
+    quick: bool,
+    include_wall: bool = False,
+) -> dict:
+    """Assemble the schema-versioned document for serialization.
+
+    Without ``include_wall`` the document depends only on the seed and
+    the scenario set — byte-identical across runs.
+    """
+    scenarios = {}
+    for name, record in records.items():
+        entry = {k: v for k, v in record.items() if k != "wall"}
+        if include_wall:
+            entry["wall"] = record["wall"]
+        scenarios[name] = entry
+    return {
+        "schema": SCHEMA_VERSION,
+        "seed": seed,
+        "mode": "quick" if quick else "full",
+        "scenarios": scenarios,
+    }
+
+
+def dump_document(document: dict, path: str) -> None:
+    """Write the document as canonical JSON (sorted keys, 2-space
+    indent, trailing newline) so equal documents are equal bytes."""
+    with open(path, "w") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_document(path: str) -> dict:
+    """Read a results file, validating the schema version."""
+    with open(path) as fh:
+        document = json.load(fh)
+    schema = document.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise BenchError(
+            f"{path}: schema {schema!r} does not match {SCHEMA_VERSION!r}")
+    if not isinstance(document.get("scenarios"), dict):
+        raise BenchError(f"{path}: missing 'scenarios' mapping")
+    return document

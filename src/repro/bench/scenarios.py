@@ -1,0 +1,404 @@
+"""The benchmark scenario catalogue (documented in BENCHMARKS.md).
+
+Every scenario is a pure function of ``(seed, scale)`` that builds its
+own simulator, drives a workload, and reports operations, elapsed
+simulated time, and the observability counters worth tracking across
+PRs.  Scenarios never read the wall clock — the runner wraps them —
+so everything returned here is deterministic for a fixed seed.
+
+Scale dictionaries come in ``quick`` (CI smoke, a couple of seconds
+total) and ``full`` (local perf work) flavours; both exercise the same
+code paths.
+"""
+
+from __future__ import annotations
+
+from .runner import ScenarioResult, register
+
+# ---------------------------------------------------------------------------
+# kernel: the simulation event loop itself
+# ---------------------------------------------------------------------------
+
+
+@register(
+    "kernel.dispatch",
+    "plain scheduled callbacks through the event loop",
+    quick={"events": 50_000},
+    full={"events": 500_000},
+)
+def kernel_dispatch(seed: int, scale: dict) -> ScenarioResult:
+    from repro.sim import Simulator
+
+    sim = Simulator(seed=seed)
+    events = scale["events"]
+    fired = [0]
+
+    def tick():
+        fired[0] += 1
+
+    for i in range(events):
+        sim.schedule(float(i % 1000), tick)
+    sim.run()
+    assert fired[0] == events
+    return ScenarioResult(ops=events, sim_time_us=sim.now)
+
+
+@register(
+    "kernel.timeout_churn",
+    "generator processes yielding Timeouts back-to-back",
+    quick={"yields": 20_000, "procs": 4},
+    full={"yields": 200_000, "procs": 4},
+)
+def kernel_timeout_churn(seed: int, scale: dict) -> ScenarioResult:
+    from repro.sim import Simulator, Timeout
+
+    sim = Simulator(seed=seed)
+    yields, procs = scale["yields"], scale["procs"]
+    per_proc = yields // procs
+
+    def proc():
+        for _ in range(per_proc):
+            yield Timeout(1.0)
+        return None
+
+    for p in range(procs):
+        sim.spawn(proc(), name=f"churn-{p}")
+    sim.run()
+    return ScenarioResult(ops=per_proc * procs, sim_time_us=sim.now)
+
+
+@register(
+    "kernel.signal_churn",
+    "Signal trigger/wait cycles fanning out to many waiters",
+    quick={"rounds": 2_000, "waiters": 10},
+    full={"rounds": 20_000, "waiters": 10},
+)
+def kernel_signal_churn(seed: int, scale: dict) -> ScenarioResult:
+    from repro.sim import Simulator, Timeout
+
+    sim = Simulator(seed=seed)
+    rounds, waiters = scale["rounds"], scale["waiters"]
+    sig = sim.signal("churn")
+    woken = [0]
+
+    def waiter():
+        while True:
+            value = yield sig
+            if value is None:
+                return None
+            woken[0] += 1
+
+    def driver():
+        for _ in range(rounds):
+            yield Timeout(1.0)
+            sig.trigger(1)
+        # Let the last wakeups land, then release the waiters.
+        yield Timeout(1.0)
+        sig.trigger(None)
+        return None
+
+    for w in range(waiters):
+        sim.spawn(waiter(), name=f"waiter-{w}")
+    sim.spawn(driver(), name="driver")
+    sim.run()
+    assert woken[0] == rounds * waiters
+    return ScenarioResult(ops=rounds * waiters, sim_time_us=sim.now)
+
+
+@register(
+    "kernel.cancel_churn",
+    "mass-cancelled far-future timers (heap compaction path)",
+    quick={"timers": 50_000, "batch": 5_000},
+    full={"timers": 500_000, "batch": 5_000},
+)
+def kernel_cancel_churn(seed: int, scale: dict) -> ScenarioResult:
+    from repro.sim import Simulator
+
+    sim = Simulator(seed=seed)
+    timers, batch = scale["timers"], scale["batch"]
+    scheduled = 0
+
+    def noop():
+        pass
+
+    # Schedule-and-cancel in batches, the retransmit-timer pattern: the
+    # deadline is far away, the cancel arrives almost immediately.
+    while scheduled < timers:
+        n = min(batch, timers - scheduled)
+        handles = [sim.schedule(1e9, noop) for _ in range(n)]
+        for handle in handles:
+            handle.cancel()
+        scheduled += n
+        sim.schedule(1.0, noop)
+        sim.run(until=sim.now + 1.0)
+    # Compaction must have kept the heap near its live size — cancelled
+    # timers with a t=1e9 deadline must not accumulate.
+    heap_entries = len(sim._heap)
+    assert heap_entries < batch * 2, "cancelled timers lingering in heap"
+    return ScenarioResult(
+        ops=timers,
+        sim_time_us=sim.now,
+        counters={"kernel.heap_entries_after": heap_entries,
+                  "kernel.pending_after": sim.pending_event_count},
+    )
+
+
+# ---------------------------------------------------------------------------
+# net: links and switches under load
+# ---------------------------------------------------------------------------
+
+
+def _drain_stream(seed: int, scale: dict, tracing: bool) -> ScenarioResult:
+    from repro.net import Packet, build_star
+    from repro.sim import Simulator, Timeout
+
+    sim = Simulator(seed=seed)
+    net = build_star(sim, 2, tracing=tracing)
+    src, dst = net.host("h0"), net.host("h1")
+    packets = scale["packets"]
+    got = [0]
+    dst.on("bench", lambda p: got.__setitem__(0, got[0] + 1))
+
+    def sender():
+        for i in range(packets):
+            src.send(Packet(kind="bench", src="h0", dst="h1",
+                            payload_bytes=scale["payload_bytes"]))
+            if i % 64 == 63:
+                yield Timeout(1.0)  # let the wire drain periodically
+        return None
+
+    sim.spawn(sender(), name="sender")
+    sim.run()
+    assert got[0] == packets
+    counters = {}
+    if tracing:
+        snap = net.metrics.snapshot()["counters"]
+        for key in ("net.host.h1:host.rx", "net.host.h1:host.rx_bytes",
+                    "net.switch.s0:switch.rx", "net.switch.s0:switch.tx"):
+            if key in snap:
+                counters[key] = snap[key]
+    return ScenarioResult(ops=packets, sim_time_us=sim.now, counters=counters)
+
+
+@register(
+    "net.link_stream",
+    "host-to-host packet stream through one switch (traced)",
+    quick={"packets": 5_000, "payload_bytes": 256},
+    full={"packets": 50_000, "payload_bytes": 256},
+)
+def net_link_stream(seed: int, scale: dict) -> ScenarioResult:
+    return _drain_stream(seed, scale, tracing=True)
+
+
+@register(
+    "net.link_stream_untraced",
+    "the same stream with the no-op tracer fast path",
+    quick={"packets": 5_000, "payload_bytes": 256},
+    full={"packets": 50_000, "payload_bytes": 256},
+)
+def net_link_stream_untraced(seed: int, scale: dict) -> ScenarioResult:
+    return _drain_stream(seed, scale, tracing=False)
+
+
+@register(
+    "net.switch_forward",
+    "all-to-all unicast across a learned star fabric",
+    quick={"hosts": 8, "rounds": 80, "payload_bytes": 128},
+    full={"hosts": 8, "rounds": 800, "payload_bytes": 128},
+)
+def net_switch_forward(seed: int, scale: dict) -> ScenarioResult:
+    from repro.net import Packet, build_star
+    from repro.sim import Simulator, Timeout
+
+    sim = Simulator(seed=seed)
+    hosts, rounds = scale["hosts"], scale["rounds"]
+    net = build_star(sim, hosts)
+    received = [0]
+    names = [f"h{i}" for i in range(hosts)]
+    for name in names:
+        net.host(name).on("bench",
+                          lambda p: received.__setitem__(0, received[0] + 1))
+
+    def warmup():
+        # One broadcast each teaches the switch every host's port.
+        for name in names:
+            net.host(name).broadcast("bench.warm", payload_bytes=16)
+            yield Timeout(50.0)
+        return None
+
+    def driver():
+        yield sim.spawn(warmup(), name="warmup")
+        for r in range(rounds):
+            for i, name in enumerate(names):
+                peer = names[(i + 1 + r) % hosts]
+                net.host(name).send(Packet(
+                    kind="bench", src=name, dst=peer,
+                    payload_bytes=scale["payload_bytes"]))
+            yield Timeout(20.0)
+        return None
+
+    sim.spawn(driver(), name="driver")
+    sim.run()
+    sent = hosts * rounds
+    snap = net.metrics.snapshot()["counters"]
+    counters = {
+        "net.switch.s0:switch.rx": snap.get("net.switch.s0:switch.rx", 0),
+        "net.switch.s0:switch.tx": snap.get("net.switch.s0:switch.tx", 0),
+        "net.switch.s0:switch.flooded": snap.get("net.switch.s0:switch.flooded", 0),
+        "delivered": received[0],
+    }
+    return ScenarioResult(ops=sent, sim_time_us=sim.now, counters=counters)
+
+
+# ---------------------------------------------------------------------------
+# discovery: E2E vs controller rendezvous at scale
+# ---------------------------------------------------------------------------
+
+
+def _discovery(scheme_name: str, seed: int, scale: dict) -> ScenarioResult:
+    from repro.discovery import run_fig2_point
+
+    point = run_fig2_point(
+        scheme_name,
+        percent_new=scale["percent_new"],
+        n_accesses=scale["accesses"],
+        seed=seed,
+    )
+    total_rtt = sum(r.latency_us for r in point.records if r.ok)
+    return ScenarioResult(
+        ops=scale["accesses"],
+        sim_time_us=total_rtt,
+        counters={
+            "discovery.mean_rtt_x1000": int(point.mean_rtt_us * 1000),
+            "discovery.broadcasts_per_100": int(point.broadcasts_per_100),
+            "discovery.failures": point.failures,
+        },
+    )
+
+
+@register(
+    "discovery.e2e",
+    "end-to-end broadcast discovery sweep point (50% new objects)",
+    quick={"accesses": 30, "percent_new": 50},
+    full={"accesses": 200, "percent_new": 50},
+)
+def discovery_e2e(seed: int, scale: dict) -> ScenarioResult:
+    from repro.discovery import SCHEME_E2E
+
+    return _discovery(SCHEME_E2E, seed, scale)
+
+
+@register(
+    "discovery.controller",
+    "SDN-controller discovery sweep point (50% new objects)",
+    quick={"accesses": 30, "percent_new": 50},
+    full={"accesses": 200, "percent_new": 50},
+)
+def discovery_controller(seed: int, scale: dict) -> ScenarioResult:
+    from repro.discovery import SCHEME_CONTROLLER
+
+    return _discovery(SCHEME_CONTROLLER, seed, scale)
+
+
+# ---------------------------------------------------------------------------
+# memproto: reliable transport with and without loss
+# ---------------------------------------------------------------------------
+
+
+def _transport(seed: int, scale: dict, loss: float) -> ScenarioResult:
+    from repro.memproto import LightweightTransport
+    from repro.net import build_star
+    from repro.sim import Simulator
+
+    sim = Simulator(seed=seed)
+    net = build_star(sim, 2, default_loss_rate=loss)
+    sender = LightweightTransport(net.host("h0"))
+    receiver = LightweightTransport(net.host("h1"))
+    messages = scale["messages"]
+    delivered = [0]
+    receiver.on_deliver(
+        lambda src, payload, nbytes: delivered.__setitem__(0, delivered[0] + 1))
+    for i in range(messages):
+        sender.send("h1", {"i": i}, payload_bytes=scale["payload_bytes"])
+    sim.run()
+    assert delivered[0] == messages
+    tx_counts = sender.tracer.counters
+    counters = {
+        "transport.tx": tx_counts.get("transport.tx"),
+        "transport.retransmit": tx_counts.get("transport.retransmit"),
+        "transport.acked": tx_counts.get("transport.acked"),
+        "kernel.pending_after": sim.pending_event_count,
+        # Mass-cancelled retransmit timers must not survive in the heap.
+        "kernel.heap_entries_after": len(sim._heap),
+    }
+    return ScenarioResult(ops=messages, sim_time_us=sim.now, counters=counters)
+
+
+@register(
+    "memproto.transport_clean",
+    "lightweight reliable transport, no loss (retransmit-timer churn)",
+    quick={"messages": 2_000, "payload_bytes": 512},
+    full={"messages": 20_000, "payload_bytes": 512},
+)
+def memproto_transport_clean(seed: int, scale: dict) -> ScenarioResult:
+    return _transport(seed, scale, loss=0.0)
+
+
+@register(
+    "memproto.transport_loss",
+    "lightweight reliable transport under 5% loss",
+    quick={"messages": 1_000, "payload_bytes": 512},
+    full={"messages": 10_000, "payload_bytes": 512},
+)
+def memproto_transport_loss(seed: int, scale: dict) -> ScenarioResult:
+    return _transport(seed, scale, loss=0.05)
+
+
+# ---------------------------------------------------------------------------
+# e2e: the full rendezvous invocation stack
+# ---------------------------------------------------------------------------
+
+
+@register(
+    "e2e.invoke",
+    "full-stack rendezvous invocations on a 3-host star",
+    quick={"invocations": 20},
+    full={"invocations": 200},
+)
+def e2e_invoke(seed: int, scale: dict) -> ScenarioResult:
+    from repro import (FunctionRegistry, GlobalRef, GlobalSpaceRuntime,
+                       Simulator, build_star)
+
+    sim = Simulator(seed=seed)
+    net = build_star(sim, 3, prefix="n")
+    registry = FunctionRegistry()
+
+    @registry.register("bench")
+    def bench_fn(ctx, args):
+        data = yield ctx.read(args["blob"], 0, 5)
+        return data.decode()
+
+    runtime = GlobalSpaceRuntime(net, registry)
+    for name in ("n0", "n1", "n2"):
+        runtime.add_node(name)
+    blob = runtime.create_object("n2", size=1 << 20)
+    blob.write(0, b"hello")
+    refs = {"blob": GlobalRef(blob.oid, 0, "read")}
+    _, code_ref = runtime.create_code("n0", "bench", text_size=256)
+    invocations = scale["invocations"]
+
+    def driver():
+        for _ in range(invocations):
+            result = yield sim.spawn(
+                runtime.invoke("n0", code_ref, data_refs=refs))
+            assert result.value == "hello"
+        return None
+
+    sim.run_process(driver(), name="bench-driver")
+    snap = net.metrics.snapshot()["counters"]
+    counters = {
+        "runtime.invocations": invocations,
+        "net.host.n0:host.tx": snap.get("net.host.n0:host.tx", 0),
+        "net.host.n2:host.rx": snap.get("net.host.n2:host.rx", 0),
+    }
+    return ScenarioResult(ops=invocations, sim_time_us=sim.now, counters=counters)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
-from ..sim import Simulator, Store, Timeout, Tracer
+from ..sim import Simulator, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .node import Node
@@ -25,7 +25,19 @@ DEFAULT_LATENCY_US = 5.0
 
 class LinkEnd:
     """One directed half of a link: ``node`` transmits into it and the
-    packet emerges at ``peer`` after queueing + transmission + latency."""
+    packet emerges at ``peer`` after queueing + transmission + latency.
+
+    The wire is modelled directly as a *busy-until* horizon instead of a
+    queue-draining pump process: because transmission times are known at
+    enqueue time, each packet's completion instant can be computed
+    immediately and scheduled as a single event.  That replaces the
+    per-packet Store handoff + generator resumption + Timeout of the
+    process-based design with one kernel event, at identical FIFO
+    store-and-forward timing.
+    """
+
+    __slots__ = ("link", "node", "peer", "port", "bytes_carried",
+                 "packets_carried", "_busy_until", "_in_flight")
 
     def __init__(self, link: "Link", node: "Node", peer: "Node", port: int):
         self.link = link
@@ -34,24 +46,32 @@ class LinkEnd:
         self.port = port  # port index on the *receiving* node
         self.bytes_carried = 0
         self.packets_carried = 0
-        self._queue: Store = Store(link.sim, name=f"{node.name}->{peer.name}")
-        link.sim.spawn(self._pump(), name=f"link:{node.name}->{peer.name}")
+        self._busy_until = 0.0
+        self._in_flight = 0
 
     def transmit(self, packet: "Packet") -> None:
         """Enqueue for transmission (never blocks the sender)."""
-        self._queue.put_nowait(packet)
+        link = self.link
+        sim = link.sim
+        now = sim.now
+        start = self._busy_until
+        if start < now:
+            start = now
+        done = start + packet.size_bytes / link._bytes_per_us
+        self._busy_until = done
+        self._in_flight += 1
+        sim.schedule(done - now, self._tx_done, packet)
 
-    def _pump(self):
-        sim = self.link.sim
-        while True:
-            packet = yield self._queue.get()
-            yield Timeout(self.link.transmission_time_us(packet.size_bytes))
-            self.bytes_carried += packet.size_bytes
-            self.packets_carried += 1
-            if self.link._drop(packet):
-                continue
-            # Propagation happens after the last bit leaves the wire.
-            sim.schedule(self.link.latency_us, self._deliver, packet)
+    def _tx_done(self, packet: "Packet") -> None:
+        """The last bit has left the wire: account, maybe drop, propagate."""
+        self._in_flight -= 1
+        self.bytes_carried += packet.size_bytes
+        self.packets_carried += 1
+        link = self.link
+        if link._drop(packet):
+            return
+        # Propagation happens after the last bit leaves the wire.
+        link.sim.schedule(link.latency_us, self._deliver, packet)
 
     def _deliver(self, packet: "Packet") -> None:
         packet.hops += 1
@@ -59,8 +79,8 @@ class LinkEnd:
 
     @property
     def queue_depth(self) -> int:
-        """Packets waiting in this direction's transmit queue."""
-        return len(self._queue)
+        """Packets queued behind the one currently on the wire."""
+        return self._in_flight - 1 if self._in_flight > 0 else 0
 
 
 class Link:
@@ -92,17 +112,22 @@ class Link:
         self.latency_us = latency_us
         self.loss_rate = loss_rate
         self.tracer = tracer
+        # Serialization rate, precomputed once: Gbit/s -> bytes/us.
+        self._bytes_per_us = bandwidth_gbps * 1e9 / 8 / 1e6
         port_on_b = b.attach(self)
         port_on_a = a.attach(self)
         self.end_ab = LinkEnd(self, a, b, port_on_b)
         self.end_ba = LinkEnd(self, b, a, port_on_a)
+        # Fill the per-port egress slots attach() reserved: node X
+        # transmitting on this link uses the end that delivers to its peer.
+        a._tx_ends[port_on_a] = self.end_ab
+        b._tx_ends[port_on_b] = self.end_ba
         self.a = a
         self.b = b
 
     def transmission_time_us(self, size_bytes: int) -> float:
         """Serialization delay of ``size_bytes`` onto the wire."""
-        bytes_per_us = self.bandwidth_gbps * 1e9 / 8 / 1e6
-        return size_bytes / bytes_per_us
+        return size_bytes / self._bytes_per_us
 
     def end_from(self, node: "Node") -> LinkEnd:
         """The transmit half owned by ``node``."""

@@ -32,10 +32,16 @@ class Node:
         self.name = name
         self.tracer = tracer or Tracer()
         self.links: List["Link"] = []
+        # Per-port transmit ends, resolved once at wiring time so the
+        # per-packet egress path is a single list index instead of a
+        # link lookup + endpoint comparison (see Link.__init__, which
+        # fills the slot its attach() call reserves here).
+        self._tx_ends: List = []
 
     def attach(self, link: "Link") -> int:
         """Register ``link`` on the next free port; returns the port index."""
         self.links.append(link)
+        self._tx_ends.append(None)
         return len(self.links) - 1
 
     @property
@@ -45,9 +51,10 @@ class Node:
 
     def send_on_port(self, port: int, packet: "Packet") -> None:
         """Transmit ``packet`` out of ``port``."""
-        if not 0 <= port < len(self.links):
-            raise NodeError(f"{self.name}: no port {port} (have {len(self.links)})")
-        self.links[port].end_from(self).transmit(packet)
+        ends = self._tx_ends
+        if not 0 <= port < len(ends):
+            raise NodeError(f"{self.name}: no port {port} (have {len(ends)})")
+        ends[port].transmit(packet)
 
     def neighbor(self, port: int) -> "Node":
         """The node on the far end of ``port``."""

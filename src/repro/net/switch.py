@@ -124,8 +124,9 @@ class Switch(Node):
     # -- data plane ----------------------------------------------------------
     def receive(self, packet: Packet, in_port: int) -> None:
         """Ingress entry point: dispatch one arriving packet."""
-        self.tracer.count("switch.rx")
-        self.tracer.count("switch.rx_bytes", packet.size_bytes)
+        tracer = self.tracer
+        tracer.count("switch.rx")
+        tracer.count("switch.rx_bytes", packet.size_bytes)
         # Duplicate suppression FIRST, then learning: in a looped fabric,
         # flood copies of one packet arrive on several ports, and only the
         # first (which came via the shortest path) may teach the host
@@ -133,12 +134,13 @@ class Switch(Node):
         # point back into the loop.  The first-copy rule makes every
         # learned entry a BFS-tree parent pointer toward the source, so
         # unicast replies can never loop.
-        if packet.uid in self._seen_broadcasts:
-            self.tracer.count("switch.dup_suppressed")
+        seen = self._seen_broadcasts
+        if packet.uid in seen:
+            tracer.count("switch.dup_suppressed")
             return
-        self._seen_broadcasts[packet.uid] = None
-        if len(self._seen_broadcasts) > _DEDUPE_WINDOW:
-            self._seen_broadcasts.popitem(last=False)
+        seen[packet.uid] = None
+        if len(seen) > _DEDUPE_WINDOW:
+            seen.popitem(last=False)
         if packet.src:
             self.host_table[packet.src] = in_port
         if self.processing_delay_us > 0:

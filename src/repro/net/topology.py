@@ -16,7 +16,7 @@ from collections import deque
 from typing import Dict, List, Optional, Tuple
 
 from ..obs.registry import MetricsRegistry
-from ..sim import Simulator, Tracer
+from ..sim import NULL_TRACER, Simulator, Tracer
 from .host import Host
 from .link import DEFAULT_BANDWIDTH_GBPS, DEFAULT_LATENCY_US, Link
 from .node import Node, NodeError
@@ -40,6 +40,7 @@ class Network:
         default_bandwidth_gbps: float = DEFAULT_BANDWIDTH_GBPS,
         default_latency_us: float = DEFAULT_LATENCY_US,
         default_loss_rate: float = 0.0,
+        tracing: bool = True,
     ):
         self.sim = sim
         self.default_bandwidth_gbps = default_bandwidth_gbps
@@ -47,7 +48,12 @@ class Network:
         self.default_loss_rate = default_loss_rate
         self.nodes: Dict[str, Node] = {}
         self.links: List[Link] = []
-        self.tracer = Tracer()
+        # ``tracing=False`` builds an untraced network: every node and
+        # link shares the no-op NULL_TRACER, so hot paths skip all
+        # counter bookkeeping (the bench runner measures raw forwarding
+        # this way).  The registry skips null tracers at snapshot time.
+        self.tracing = tracing
+        self.tracer = Tracer() if tracing else NULL_TRACER
         # Cluster-wide view: every node tracer lands here under a
         # hierarchical name, and upper layers (runtime, discovery) add
         # their own — see OBSERVABILITY.md.
@@ -66,12 +72,15 @@ class Network:
 
     def add_host(self, name: str) -> Host:
         """Create and register a host."""
-        host = Host(self.sim, name)
+        host = Host(self.sim, name,
+                    tracer=None if self.tracing else NULL_TRACER)
         self._register(host)
         return host
 
     def add_switch(self, name: str, **kwargs) -> Switch:
         """Create and register a switch."""
+        if not self.tracing:
+            kwargs.setdefault("tracer", NULL_TRACER)
         switch = Switch(self.sim, name, **kwargs)
         self._register(switch)
         return switch
@@ -290,12 +299,12 @@ def build_two_tier(
     net = Network(sim, **kwargs)
     for s in range(n_spines):
         net.add_switch(f"spine{s}", **(switch_kwargs or {}))
-    for l in range(n_leaves):
-        net.add_switch(f"leaf{l}", **(switch_kwargs or {}))
+    for leaf in range(n_leaves):
+        net.add_switch(f"leaf{leaf}", **(switch_kwargs or {}))
         for s in range(n_spines):
-            net.connect(f"leaf{l}", f"spine{s}")
+            net.connect(f"leaf{leaf}", f"spine{s}")
         for h in range(hosts_per_leaf):
-            name = f"h{l}_{h}"
+            name = f"h{leaf}_{h}"
             net.add_host(name)
-            net.connect(name, f"leaf{l}")
+            net.connect(name, f"leaf{leaf}")
     return net

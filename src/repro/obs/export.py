@@ -22,7 +22,7 @@ this).
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Sequence
 
 from ..sim.trace import TraceEvent
 from .span import Span

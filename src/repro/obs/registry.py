@@ -26,7 +26,7 @@ import re
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..sim.trace import Tracer
+from ..sim.trace import NullTracer, Tracer
 
 __all__ = ["MetricsRegistry", "RegistryError"]
 
@@ -105,6 +105,10 @@ class MetricsRegistry:
         counters: Dict[str, int] = {}
         series: Dict[str, List[float]] = {}
         for name, tracer in self.items():
+            if isinstance(tracer, NullTracer):
+                # Untraced node: nothing was recorded, so contribute no
+                # keys rather than scanning (always-empty) collections.
+                continue
             for key, value in tracer.counters.as_dict().items():
                 counters[f"{name}{NAME_KEY_SEP}{key}"] = value
             for key in tracer.series.keys():

@@ -20,7 +20,16 @@ from .loop import (
     Timeout,
 )
 from .primitives import Future, Latch, Resource, Store
-from .trace import Counter, SampleSeries, Summary, Tracer, percentile, summarize
+from .trace import (
+    NULL_TRACER,
+    Counter,
+    NullTracer,
+    SampleSeries,
+    Summary,
+    Tracer,
+    percentile,
+    summarize,
+)
 
 __all__ = [
     "Simulator",
@@ -40,6 +49,8 @@ __all__ = [
     "SampleSeries",
     "Summary",
     "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
     "summarize",
     "percentile",
     "USEC",

@@ -53,20 +53,40 @@ class Interrupt(Exception):
 
 
 class ScheduledEvent:
-    """A cancellable callback scheduled at an absolute simulation time."""
+    """A cancellable callback scheduled at an absolute simulation time.
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    The simulator's heap orders ``(time, seq)`` tuples at C speed, so
+    events themselves are never compared during heap operations; the
+    object exists as the cancellation handle (and to carry the callback
+    to the dispatch loop).
+    """
 
-    def __init__(self, time: float, seq: int, callback: Callable, args: tuple):
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
+
+    def __init__(self, time: float, seq: int, callback: Callable, args: tuple,
+                 sim: Optional["Simulator"] = None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
-        """Prevent the callback from firing.  Idempotent."""
-        self.cancelled = True
+        """Prevent the callback from firing.  Idempotent.
+
+        Cancelling drops the callback reference immediately (mass-
+        cancelled timers must not pin their closures) and tells the
+        owning simulator, which compacts its heap once cancelled
+        entries dominate — a cancelled timer never lingers until its
+        deadline just to be skipped.
+        """
+        if not self.cancelled:
+            self.cancelled = True
+            self.callback = None
+            self.args = ()
+            if self._sim is not None:
+                self._sim._note_cancelled()
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -96,7 +116,13 @@ class Timeout(Waitable):
         self.value = value
 
     def _subscribe(self, sim: "Simulator", process: "Process") -> None:
-        handle = sim.schedule(self.delay, process._resume, self.value)
+        # Inlined sim.schedule: the delay was validated in __init__, so
+        # the fast path skips re-validation (this is the single hottest
+        # subscription in the kernel — every process sleep lands here).
+        time = sim.now + self.delay
+        seq = next(sim._seq)
+        handle = ScheduledEvent(time, seq, process._resume, (self.value,), sim)
+        heapq.heappush(sim._heap, (time, seq, handle))
         process._pending_handle = handle
 
 
@@ -280,6 +306,16 @@ class Process(Waitable):
         except Exception as exc:
             self._fail(exc)
             return
+        # Fast path for the overwhelmingly common yield: a plain Timeout.
+        # Skips the isinstance check and the _subscribe indirection.
+        if target.__class__ is Timeout:
+            sim = self.sim
+            time = sim.now + target.delay
+            seq = next(sim._seq)
+            handle = ScheduledEvent(time, seq, self._resume, (target.value,), sim)
+            heapq.heappush(sim._heap, (time, seq, handle))
+            self._pending_handle = handle
+            return
         if not isinstance(target, Waitable):
             self._fail(SimError(f"process {self.name} yielded non-waitable {target!r}"))
             return
@@ -331,14 +367,22 @@ class Process(Waitable):
 
 
 class Simulator:
-    """The event loop: a clock, a heap of callbacks, and a seeded RNG."""
+    """The event loop: a clock, a heap of callbacks, and a seeded RNG.
+
+    The heap stores ``(time, seq, event)`` triples so ordering happens
+    via C-level tuple comparison — ``seq`` is unique, so the event
+    object itself is never compared.  Cancelled events are skipped
+    lazily at dispatch, and the heap is compacted in place whenever
+    cancelled entries outnumber live ones (see :meth:`_note_cancelled`).
+    """
 
     def __init__(self, seed: int = 0):
         self.now: float = 0.0
         self.seed = seed
         self.rng = random.Random(seed)
-        self._heap: List[ScheduledEvent] = []
+        self._heap: List[tuple] = []
         self._seq = itertools.count()
+        self._cancelled_count = 0
         self._crashed_processes: List[Process] = []
 
     # -- scheduling --------------------------------------------------------
@@ -346,9 +390,25 @@ class Simulator:
         """Run ``callback(*args)`` after ``delay`` simulated microseconds."""
         if delay < 0:
             raise SimError(f"cannot schedule in the past (delay={delay})")
-        event = ScheduledEvent(self.now + delay, next(self._seq), callback, args)
-        heapq.heappush(self._heap, event)
+        time = self.now + delay
+        seq = next(self._seq)
+        event = ScheduledEvent(time, seq, callback, args, self)
+        heapq.heappush(self._heap, (time, seq, event))
         return event
+
+    def _note_cancelled(self) -> None:
+        """Account one cancellation; compact once the heap is mostly dead.
+
+        Compaction rewrites ``_heap`` *in place* (the dispatch loop
+        holds a reference to the list) and re-heapifies — O(live)
+        instead of paying O(log n) per dead entry until its deadline.
+        """
+        self._cancelled_count += 1
+        heap = self._heap
+        if self._cancelled_count > 64 and self._cancelled_count * 2 > len(heap):
+            heap[:] = [entry for entry in heap if not entry[2].cancelled]
+            heapq.heapify(heap)
+            self._cancelled_count = 0
 
     def schedule_at(self, time: float, callback: Callable, *args: Any) -> ScheduledEvent:
         """Run ``callback(*args)`` at absolute simulated time ``time``."""
@@ -376,28 +436,39 @@ class Simulator:
         Returns the final simulation time.  Raises if any process died
         with an unhandled exception and nobody was waiting on it.
         """
+        # Dispatch loop: everything per-event is hoisted to locals.
+        # ``heap`` aliases self._heap, which compaction mutates in place,
+        # so the alias stays valid across callbacks that cancel events.
+        heap = self._heap
+        pop = heapq.heappop
+        crashed_processes = self._crashed_processes
+        bounded = until is not None
         processed = 0
-        while self._heap:
-            event = self._heap[0]
+        while heap:
+            entry = heap[0]
+            event = entry[2]
             if event.cancelled:
-                heapq.heappop(self._heap)
+                pop(heap)
+                if self._cancelled_count > 0:
+                    self._cancelled_count -= 1
                 continue
-            if until is not None and event.time > until:
+            time = entry[0]
+            if bounded and time > until:
                 self.now = until
                 break
-            heapq.heappop(self._heap)
-            self.now = event.time
+            pop(heap)
+            self.now = time
             event.callback(*event.args)
             processed += 1
             if processed > max_events:
                 raise SimError(f"exceeded max_events={max_events}; runaway simulation?")
-            if self._crashed_processes:
-                crashed = self._crashed_processes[0]
+            if crashed_processes:
+                crashed = crashed_processes[0]
                 raise SimError(
                     f"process {crashed.name!r} crashed at t={self.now:.3f}us"
                 ) from crashed.failed
         else:
-            if until is not None:
+            if bounded:
                 self.now = max(self.now, until)
         return self.now
 
@@ -418,7 +489,7 @@ class Simulator:
     @property
     def pending_event_count(self) -> int:
         """Scheduled events not yet fired or cancelled."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        return sum(1 for entry in self._heap if not entry[2].cancelled)
 
     def __repr__(self) -> str:
         return f"<Simulator t={self.now:.3f}us pending={self.pending_event_count}>"

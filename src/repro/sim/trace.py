@@ -19,7 +19,8 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-__all__ = ["Counter", "SampleSeries", "Tracer", "summarize", "percentile"]
+__all__ = ["Counter", "SampleSeries", "Tracer", "NullTracer", "NULL_TRACER",
+           "summarize", "percentile"]
 
 
 def percentile(values: List[float], pct: float) -> float:
@@ -198,3 +199,32 @@ class Tracer:
         self.counters.reset()
         self.series.reset()
         self.events.clear()
+
+
+class NullTracer(Tracer):
+    """A tracer that records nothing: the untraced-run fast path.
+
+    Reads behave like an empty :class:`Tracer` (counters return 0,
+    series are empty), but every recording call is a bare no-op — no
+    dict writes, no string formatting, no event bookkeeping.  Hot paths
+    (link pumps, switch forwarding, kernel benchmarks) hand this to
+    nodes when measurement itself would distort the measurement; the
+    shared :data:`NULL_TRACER` singleton makes that allocation-free.
+
+    The metrics registry skips null tracers when snapshotting, so an
+    untraced node contributes no keys instead of a block of zeros.
+    """
+
+    def count(self, key: str, amount: int = 1) -> None:
+        pass
+
+    def sample(self, key: str, value: float, time: Optional[float] = None) -> None:
+        pass
+
+    def event(self, time: float, category: str, **detail: Any) -> None:
+        pass
+
+
+#: Shared no-op tracer: safe to hand to any number of nodes at once
+#: because nothing is ever written to it.
+NULL_TRACER = NullTracer()

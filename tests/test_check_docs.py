@@ -7,7 +7,6 @@ trustworthy: renaming a key in either place fails CI, not a reader.
 import importlib.util
 import pathlib
 
-import pytest
 
 SCRIPT = (pathlib.Path(__file__).resolve().parent.parent
           / "scripts" / "check_docs.py")

@@ -11,7 +11,6 @@ from repro.consistency import (
     PNCounter,
     Replica,
     converge,
-    gossip_round,
 )
 from repro.net import build_star
 from repro.sim import Simulator

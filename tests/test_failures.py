@@ -5,7 +5,6 @@
 that attempt to hide the movement of computation and data."
 """
 
-import pytest
 
 from repro.core import FunctionRegistry, GlobalRef, IDAllocator, ObjectSpace
 from repro.discovery import E2EResolver, ObjectHome

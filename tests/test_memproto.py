@@ -8,7 +8,6 @@ from repro.memproto import (
     CoherenceAgent,
     CoherenceError,
     LightweightTransport,
-    PERM_MODIFIED,
     PERM_SHARED,
     TcpLikeTransport,
     TransportError,

@@ -9,13 +9,10 @@ from repro.net import (
     MatchActionTable,
     Packet,
     SramModel,
-    Switch,
     TableFullError,
     TOFINO_SRAM,
     build_star,
 )
-from repro.net.host import Host
-from repro.net.link import Link
 from repro.sim import Timeout
 
 

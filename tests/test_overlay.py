@@ -5,7 +5,7 @@ import pytest
 from repro.core import IDAllocator, ObjectSpace
 from repro.discovery import IdentityAccessor, ObjectHome
 from repro.net import RegionDirectory, build_multi_region
-from repro.sim import Simulator, Timeout
+from repro.sim import Simulator
 
 WAN_LATENCY_US = 2_000.0
 

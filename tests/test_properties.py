@@ -1,6 +1,5 @@
 """Property-based tests (hypothesis) on core data structures and codecs."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import (

@@ -2,8 +2,7 @@
 against brute-force evaluation, placement-engine invariants, and
 persistence/codec compositions."""
 
-import pytest
-from hypothesis import assume, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.core import (
     GlobalRef,

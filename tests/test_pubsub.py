@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import IDAllocator
-from repro.net import build_paper_topology, build_star
+from repro.net import build_paper_topology
 from repro.pubsub import (
     And,
     CompileError,

@@ -20,7 +20,7 @@ from repro.rpc import (
     encode,
     encoded_size,
 )
-from repro.sim import Simulator, Timeout
+from repro.sim import Simulator
 
 
 class TestSerializer:

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.core import FunctionRegistry, GlobalRef, IDAllocator, PlacementEngine
-from repro.net import build_star, build_paper_topology
+from repro.core import FunctionRegistry, GlobalRef, IDAllocator
+from repro.net import build_star
 from repro.runtime import (
     GlobalSpaceRuntime,
     MODE_EAGER,

@@ -7,7 +7,6 @@ from repro.core import (
     AccessDenied,
     FunctionRegistry,
     GlobalRef,
-    IDAllocator,
     ObjectACL,
     PolicyRegistry,
 )

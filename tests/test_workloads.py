@@ -4,14 +4,13 @@ import random
 
 import pytest
 
-from repro.core import FunctionRegistry, GlobalRef, IDAllocator, ObjectSpace
+from repro.core import FunctionRegistry, IDAllocator, ObjectSpace
 from repro.net import build_star
 from repro.rpc import RpcClient, RpcServer, encode, decode
-from repro.runtime import GlobalSpaceRuntime, MODE_LAZY
+from repro.runtime import GlobalSpaceRuntime
 from repro.sim import Simulator
 from repro.workloads import (
     Activation,
-    LIST_NODE,
     ModelPartition,
     ObjectKVClient,
     ObjectKVService,
