@@ -59,6 +59,8 @@ INSTRUMENTED = (
     "net/link.py",
     "runtime/engine.py",
     "runtime/node.py",
+    "faults/health.py",
+    "faults/injector.py",
     "discovery/base.py",
     "discovery/e2e.py",
     "discovery/hybrid.py",
@@ -78,6 +80,12 @@ CONSTANT_EMITTED: Dict[str, str] = {
     keymod.K_INVOCATIONS: "K_INVOCATIONS",
     keymod.K_PLACED_AT.rstrip(".") + ".*": "K_PLACED_AT",
     keymod.K_INVOKE_US: "K_INVOKE_US",
+    keymod.K_INVOKE_RETRIES: "K_INVOKE_RETRIES",
+    keymod.K_INVOKE_FAILOVER: "K_INVOKE_FAILOVER",
+    keymod.K_INVOKE_DEADLINE: "K_INVOKE_DEADLINE",
+    keymod.K_HEALTH_SUSPECTED: "K_HEALTH_SUSPECTED",
+    keymod.K_HEALTH_CLEARED: "K_HEALTH_CLEARED",
+    keymod.K_FAULTS_INJECTED.rstrip(".") + ".*": "K_FAULTS_INJECTED",
 }
 
 

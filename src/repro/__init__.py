@@ -34,6 +34,7 @@ Quick start::
 Subpackages: :mod:`repro.sim` (event loop), :mod:`repro.core` (object
 layer + placement), :mod:`repro.net` (network substrate),
 :mod:`repro.obs` (spans + metrics registry + trace export),
+:mod:`repro.faults` (deterministic fault injection),
 :mod:`repro.discovery`, :mod:`repro.runtime`, :mod:`repro.memproto`,
 :mod:`repro.pubsub`, :mod:`repro.rpc`, :mod:`repro.consistency`,
 :mod:`repro.workloads`.
@@ -62,8 +63,9 @@ from .net import (
     build_star,
     build_two_tier,
 )
+from .faults import FaultInjector, FaultPlan, HealthLedger
 from .obs import MetricsRegistry, Span, SpanRecorder
-from .runtime import GlobalSpaceRuntime, InvokeResult
+from .runtime import GlobalSpaceRuntime, InvokeResult, InvokeTimeout, RetryPolicy
 from .sim import Simulator, Timeout
 
 __version__ = "0.1.0"
@@ -93,6 +95,11 @@ __all__ = [
     "build_two_tier",
     "GlobalSpaceRuntime",
     "InvokeResult",
+    "InvokeTimeout",
+    "RetryPolicy",
+    "FaultPlan",
+    "FaultInjector",
+    "HealthLedger",
     "Span",
     "SpanRecorder",
     "MetricsRegistry",

@@ -402,3 +402,134 @@ def e2e_invoke(seed: int, scale: dict) -> ScenarioResult:
         "net.host.n2:host.rx": snap.get("net.host.n2:host.rx", 0),
     }
     return ScenarioResult(ops=invocations, sim_time_us=sim.now, counters=counters)
+
+
+# ---------------------------------------------------------------------------
+# faults: the invocation path under scripted partial failure
+# ---------------------------------------------------------------------------
+
+
+def _fault_cluster(seed: int, n_hosts: int, speeds: dict = None):
+    from repro import FunctionRegistry, GlobalSpaceRuntime, Simulator, build_star
+
+    sim = Simulator(seed=seed)
+    net = build_star(sim, n_hosts, prefix="n")
+    registry = FunctionRegistry()
+
+    @registry.register("bench")
+    def bench_fn(ctx, args):
+        data = yield ctx.read(args["blob"], 0, 5)
+        return data.decode()
+
+    runtime = GlobalSpaceRuntime(net, registry)
+    for i in range(n_hosts):
+        name = f"n{i}"
+        runtime.add_node(name, speed=(speeds or {}).get(name, 1.0))
+    return sim, net, runtime
+
+
+def _fault_counters(net, extra):
+    snap = net.metrics.snapshot()["counters"]
+    counters = dict(extra)
+    for key in ("runtime.engine:invoke.retries",
+                "runtime.engine:invoke.failover",
+                "runtime.engine:invoke.deadline_exceeded",
+                "runtime.health:health.suspected",
+                "runtime.health:health.cleared",
+                "faults.injector:faults.injected.crash",
+                "faults.injector:faults.injected.recover"):
+        counters[key] = snap.get(key, 0)
+    return counters
+
+
+@register(
+    "faults.invoke_faulty",
+    "invocation stream with crash/recover windows on both blob holders",
+    quick={"invocations": 20},
+    full={"invocations": 200},
+)
+def faults_invoke_faulty(seed: int, scale: dict) -> ScenarioResult:
+    from repro import GlobalRef, RetryPolicy
+    from repro.faults import FaultInjector, FaultPlan
+    from repro.runtime import InvokeTimeout
+
+    sim, net, runtime = _fault_cluster(seed, 4)
+    blob = runtime.create_object("n1", size=1 << 18)
+    blob.write(0, b"hello")
+    sim.run_process(runtime.replicate(blob.oid, "n2"))
+    refs = {"blob": GlobalRef(blob.oid, 0, "read")}
+    _, code_ref = runtime.create_code("n0", "bench", text_size=256)
+    invocations = scale["invocations"]
+    policy = RetryPolicy(max_attempts=3, deadline_us=5_000.0,
+                         backoff_base_us=500.0)
+    # Crash each holder in turn (the windows never overlap, so a live
+    # replica always exists somewhere).
+    base = sim.now
+    plan = (FaultPlan()
+            .crash_window("n1", base + 2_000.0, base + 40_000.0)
+            .crash_window("n2", base + 60_000.0, base + 90_000.0))
+    FaultInjector(net, plan).arm()
+    completed, timeouts = [0], [0]
+
+    def driver():
+        for _ in range(invocations):
+            try:
+                result = yield sim.spawn(
+                    runtime.invoke("n0", code_ref, data_refs=refs,
+                                   retry=policy))
+            except InvokeTimeout:
+                timeouts[0] += 1
+            else:
+                assert result.value == "hello"
+                completed[0] += 1
+        return None
+
+    sim.run_process(driver(), name="faulty-driver")
+    assert completed[0] + timeouts[0] == invocations
+    counters = _fault_counters(net, {"completed": completed[0],
+                                     "invoke_timeouts": timeouts[0]})
+    return ScenarioResult(ops=invocations, sim_time_us=sim.now,
+                          counters=counters)
+
+
+@register(
+    "faults.invoke_failover",
+    "executor crash mid-stream: every invocation must fail over",
+    quick={"invocations": 20},
+    full={"invocations": 200},
+)
+def faults_invoke_failover(seed: int, scale: dict) -> ScenarioResult:
+    from repro import GlobalRef, RetryPolicy
+    from repro.faults import FaultInjector, FaultPlan
+
+    # n2 is the fast node, so placement strictly prefers it while its
+    # health is clean — which is what makes its crash force failovers.
+    sim, net, runtime = _fault_cluster(seed, 3, speeds={"n2": 2.0})
+    blob = runtime.create_object("n2", size=1 << 18)
+    blob.write(0, b"hello")
+    sim.run_process(runtime.replicate(blob.oid, "n1"))
+    refs = {"blob": GlobalRef(blob.oid, 0, "read")}
+    _, code_ref = runtime.create_code("n0", "bench", text_size=256)
+    invocations = scale["invocations"]
+    policy = RetryPolicy(max_attempts=3, deadline_us=5_000.0,
+                         backoff_base_us=500.0)
+    # n2 (the preferred executor: it holds the blob and replicated it to
+    # n1, so both replicas exist) dies shortly into the stream and never
+    # comes back — everything after the crash must complete elsewhere.
+    plan = FaultPlan().crash("n2", at=sim.now + 2_000.0)
+    FaultInjector(net, plan).arm()
+
+    def driver():
+        for _ in range(invocations):
+            result = yield sim.spawn(
+                runtime.invoke("n0", code_ref, data_refs=refs, retry=policy))
+            assert result.value == "hello"
+        return None
+
+    sim.run_process(driver(), name="failover-driver")
+    snap = net.metrics.snapshot()["counters"]
+    assert snap.get("runtime.engine:invoke.failover", 0) >= 1, \
+        "the crash never forced a failover"
+    counters = _fault_counters(net, {"completed": invocations})
+    return ScenarioResult(ops=invocations, sim_time_us=sim.now,
+                          counters=counters)

@@ -1,0 +1,25 @@
+"""Deterministic fault injection: scripted partial failure.
+
+The paper calls partial failure the "foremost" challenge for a system
+that hides the movement of computation and data (§5).  This layer makes
+that challenge reproducible: a :class:`FaultPlan` scripts crashes,
+recoveries, link failures, loss bursts, and partitions against the
+simulated clock; a :class:`FaultInjector` arms the plan on a live
+network; and the :class:`HealthLedger` is the runtime-side suspicion
+state that lets placement route around what the plan breaks.
+
+Everything is driven by the simulator's heap and seeded RNG, so a
+faulted run is exactly as reproducible as a clean one.
+"""
+
+from .health import HealthLedger
+from .injector import FaultInjector
+from .plan import FaultEvent, FaultPlan, FaultPlanError
+
+__all__ = [
+    "FaultPlan",
+    "FaultEvent",
+    "FaultPlanError",
+    "FaultInjector",
+    "HealthLedger",
+]

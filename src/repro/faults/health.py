@@ -1,0 +1,77 @@
+"""Per-node suspicion state feeding placement.
+
+The §5 partial-failure problem is not just surviving one timeout — it
+is *not sending the next invocation to the same dead host*.  The
+:class:`HealthLedger` is the runtime's memory of who recently failed to
+answer: invocation deadlines mark an executor suspected, successful
+replies (or any reply traffic from the node) clear it, and suspicion
+expires on its own after ``suspicion_ttl_us`` so a recovered host is
+eventually trusted again even if it never happens to serve a request.
+
+``GlobalSpaceRuntime.live_profiles`` consults the ledger and inflates a
+suspected node's apparent queue depth by ``suspect_penalty_jobs``, so
+placement deprioritizes it without hard-excluding it — a suspected node
+can still win if it is the only feasible candidate (it may well be
+alive; suspicion is a guess, not a verdict).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Set
+
+from ..obs.keys import K_HEALTH_CLEARED, K_HEALTH_SUSPECTED
+from ..sim import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim import Simulator
+
+__all__ = ["HealthLedger"]
+
+
+class HealthLedger:
+    """Suspicion timestamps per node name, with TTL expiry."""
+
+    def __init__(self, sim: "Simulator", suspicion_ttl_us: float = 1_000_000.0,
+                 suspect_penalty_jobs: int = 1_000,
+                 tracer: Optional[Tracer] = None):
+        if suspicion_ttl_us <= 0:
+            raise ValueError("suspicion TTL must be positive")
+        self.sim = sim
+        self.suspicion_ttl_us = suspicion_ttl_us
+        self.suspect_penalty_jobs = suspect_penalty_jobs
+        self.tracer = tracer if tracer is not None else Tracer()
+        self._suspect_until: Dict[str, float] = {}
+
+    # -- state transitions -------------------------------------------------
+    def suspect(self, node: str) -> None:
+        """Mark ``node`` suspected until now + TTL (timeouts land here)."""
+        self._suspect_until[node] = self.sim.now + self.suspicion_ttl_us
+        self.tracer.count(K_HEALTH_SUSPECTED)
+
+    def clear(self, node: str) -> None:
+        """Clear suspicion of ``node`` (a reply proves it is alive)."""
+        if self._suspect_until.pop(node, None) is not None:
+            self.tracer.count(K_HEALTH_CLEARED)
+
+    # -- queries -----------------------------------------------------------
+    def is_suspected(self, node: str) -> bool:
+        """True while ``node``'s suspicion has not expired or cleared."""
+        until = self._suspect_until.get(node)
+        if until is None:
+            return False
+        if self.sim.now >= until:
+            del self._suspect_until[node]
+            return False
+        return True
+
+    def suspected(self) -> Set[str]:
+        """Names of every currently suspected node."""
+        return {name for name in list(self._suspect_until)
+                if self.is_suspected(name)}
+
+    def penalty_jobs(self, node: str) -> int:
+        """Queue-depth surcharge placement folds into a node's profile."""
+        return self.suspect_penalty_jobs if self.is_suspected(node) else 0
+
+    def __repr__(self) -> str:
+        return f"<HealthLedger suspected={sorted(self.suspected())}>"

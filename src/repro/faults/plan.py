@@ -1,0 +1,161 @@
+"""Declarative fault schedules.
+
+A :class:`FaultPlan` is a script of failure events — host crashes and
+recoveries, link failures, loss bursts, partitions — each pinned to an
+absolute simulated time.  Plans are *pure data*: building one touches
+nothing; the :class:`~repro.faults.injector.FaultInjector` arms it
+against a live :class:`~repro.net.topology.Network`.
+
+Because every event carries an explicit ``at_us`` and the injector
+drives them through the simulator's ordinary event heap, a plan replays
+byte-identically for a fixed seed — the property the multi-seed fault
+sweeps in ``tests/test_faults.py`` and the ``faults.*`` bench scenarios
+rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["FaultEvent", "FaultPlan", "FaultPlanError"]
+
+# Event kinds the injector understands.  The injector counts each
+# applied event under the ``faults.injected.<kind>`` prefix family.
+KIND_CRASH = "crash"
+KIND_RECOVER = "recover"
+KIND_LINK_DOWN = "link_down"
+KIND_LINK_UP = "link_up"
+KIND_DEGRADE = "degrade"
+KIND_RESTORE = "restore"
+KIND_PARTITION = "partition"
+KIND_HEAL = "heal"
+
+
+class FaultPlanError(Exception):
+    """Malformed fault schedules (negative times, empty groups...)."""
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scripted event: what happens, to whom, and when.
+
+    ``seq`` breaks ties between events scheduled at the same instant —
+    plan order is application order, deterministically.
+    """
+
+    at_us: float
+    kind: str
+    target: Tuple[str, ...]
+    params: Dict[str, Any] = field(default_factory=dict)
+    seq: int = 0
+
+
+class FaultPlan:
+    """A chainable builder for scripted fault schedules.
+
+    Every method appends one or two :class:`FaultEvent` records and
+    returns ``self``, so schedules read as a script::
+
+        plan = (FaultPlan()
+                .crash("n1", at=5_000)
+                .recover("n1", at=40_000)
+                .degrade_link("n0", "s0", loss=0.5,
+                              from_us=10_000, until_us=20_000))
+    """
+
+    def __init__(self) -> None:
+        self._events: List[FaultEvent] = []
+
+    def _add(self, at_us: float, kind: str, target: Tuple[str, ...],
+             **params: Any) -> "FaultPlan":
+        if at_us < 0:
+            raise FaultPlanError(f"{kind}: cannot schedule in the past "
+                                 f"(at={at_us})")
+        self._events.append(FaultEvent(
+            at_us=float(at_us), kind=kind, target=target,
+            params=params, seq=len(self._events)))
+        return self
+
+    # -- host faults -------------------------------------------------------
+    def crash(self, host: str, at: float) -> "FaultPlan":
+        """Crash ``host`` at ``at`` (it silently drops all traffic)."""
+        return self._add(at, KIND_CRASH, (host,))
+
+    def recover(self, host: str, at: float) -> "FaultPlan":
+        """Bring ``host`` back at ``at``."""
+        return self._add(at, KIND_RECOVER, (host,))
+
+    def crash_window(self, host: str, from_us: float,
+                     until_us: float) -> "FaultPlan":
+        """Crash ``host`` for the interval ``[from_us, until_us)``."""
+        if until_us <= from_us:
+            raise FaultPlanError("crash_window: until must follow from")
+        return self.crash(host, from_us).recover(host, until_us)
+
+    # -- link faults -------------------------------------------------------
+    def fail_link(self, a: str, b: str, at: float) -> "FaultPlan":
+        """Cut the link between ``a`` and ``b`` at ``at``."""
+        return self._add(at, KIND_LINK_DOWN, (a, b))
+
+    def restore_link(self, a: str, b: str, at: float) -> "FaultPlan":
+        """Restore the link between ``a`` and ``b`` at ``at``."""
+        return self._add(at, KIND_LINK_UP, (a, b))
+
+    def degrade_link(self, a: str, b: str, loss: float,
+                     from_us: float, until_us: float) -> "FaultPlan":
+        """Raise the ``a``–``b`` link's loss rate to ``loss`` for the
+        interval ``[from_us, until_us)``; the previous rate is restored
+        afterwards."""
+        if not 0.0 <= loss < 1.0:
+            raise FaultPlanError(f"degrade_link: loss must be in [0, 1), "
+                                 f"got {loss}")
+        if until_us <= from_us:
+            raise FaultPlanError("degrade_link: until must follow from")
+        self._add(from_us, KIND_DEGRADE, (a, b), loss=loss)
+        return self._add(until_us, KIND_RESTORE, (a, b))
+
+    def loss_burst(self, a: str, b: str, at: float,
+                   duration_us: float, loss: float = 0.99) -> "FaultPlan":
+        """A burst of near-total loss on the ``a``–``b`` link."""
+        return self.degrade_link(a, b, loss, at, at + duration_us)
+
+    # -- partitions --------------------------------------------------------
+    def partition(self, groups: Sequence[Iterable[str]],
+                  from_us: float, until_us: float) -> "FaultPlan":
+        """Split the named hosts into isolated ``groups`` for the
+        interval ``[from_us, until_us)``.
+
+        Hosts in different groups cannot exchange traffic; hosts not
+        named in any group keep talking to everyone.  The partition
+        heals at ``until_us``.
+        """
+        frozen = tuple(tuple(sorted(group)) for group in groups)
+        if len(frozen) < 2:
+            raise FaultPlanError("partition: need at least two groups")
+        if any(not group for group in frozen):
+            raise FaultPlanError("partition: empty group")
+        named = [name for group in frozen for name in group]
+        if len(named) != len(set(named)):
+            raise FaultPlanError("partition: a host appears in two groups")
+        if until_us <= from_us:
+            raise FaultPlanError("partition: until must follow from")
+        self._add(from_us, KIND_PARTITION, named and tuple(named),
+                  groups=frozen)
+        return self._add(until_us, KIND_HEAL, ())
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def events(self) -> List[FaultEvent]:
+        """All events in application order: ``(at_us, seq)``."""
+        return sorted(self._events, key=lambda e: (e.at_us, e.seq))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:
+        span = ""
+        if self._events:
+            events = self.events
+            span = f" t=[{events[0].at_us:.0f}, {events[-1].at_us:.0f}]us"
+        return f"<FaultPlan {len(self._events)} event(s){span}>"

@@ -32,6 +32,10 @@ class Host(Node):
         self._default_handler: Optional[PacketHandler] = None
         self._seen_broadcasts: "OrderedDict[int, None]" = OrderedDict()
         self.failed = False
+        # Partition state: my group id plus the shared host->group map
+        # (installed by Network.set_partition; None = no partition).
+        self.partition_group: Optional[int] = None
+        self._partition_map: Optional[Dict[str, int]] = None
         # Promiscuous hosts (overlay gateways) also receive unicast
         # traffic addressed to *other* hosts instead of filtering it.
         self.promiscuous = False
@@ -53,6 +57,29 @@ class Host(Node):
         """Bring the host back (protocol state above survives as-is)."""
         self.failed = False
         self.tracer.count("host.recovered")
+
+    def set_partition(self, group: int, host_groups: Dict[str, int]) -> None:
+        """Join partition ``group``; ``host_groups`` is the cluster-wide
+        host->group map (shared, so one dict serves every host).
+
+        While partitioned, ingress drops packets whose source sits in a
+        *different* group; sources in no group stay reachable.  Used by
+        :meth:`Network.set_partition` — tests usually go through that.
+        """
+        self.partition_group = group
+        self._partition_map = host_groups
+
+    def clear_partition(self) -> None:
+        """Leave any partition: all traffic flows again."""
+        self.partition_group = None
+        self._partition_map = None
+
+    def _partitioned_from(self, src: Optional[str]) -> bool:
+        """True when ``src`` sits across the current partition."""
+        if self.partition_group is None or src is None:
+            return False
+        src_group = self._partition_map.get(src)
+        return src_group is not None and src_group != self.partition_group
 
     # -- handler registration ------------------------------------------------
     def on(self, kind: str, handler: PacketHandler) -> None:
@@ -106,6 +133,9 @@ class Host(Node):
         """Ingress entry point: dispatch one arriving packet."""
         if self.failed:
             self.tracer.count("host.dropped_while_failed")
+            return
+        if self._partitioned_from(packet.src):
+            self.tracer.count("host.dropped_partitioned")
             return
         self.tracer.count("host.rx")
         self.tracer.count("host.rx_bytes", packet.size_bytes)

@@ -111,6 +111,7 @@ class Link:
         self.bandwidth_gbps = bandwidth_gbps
         self.latency_us = latency_us
         self.loss_rate = loss_rate
+        self.failed = False
         self.tracer = tracer
         # Serialization rate, precomputed once: Gbit/s -> bytes/us.
         self._bytes_per_us = bandwidth_gbps * 1e9 / 8 / 1e6
@@ -150,8 +151,22 @@ class Link:
             return self.a
         raise ValueError(f"node {node.name!r} is not an endpoint of this link")
 
+    # -- failure injection -------------------------------------------------
+    def fail(self) -> None:
+        """Cut the link: both directions drop everything until recovery.
+
+        Queued transmissions still on the wire are lost too — their
+        completion events fire but :meth:`_drop` eats the packet.
+        """
+        self.failed = True
+
+    def recover(self) -> None:
+        """Restore the link (traffic flows again at the old parameters)."""
+        self.failed = False
+
     def _drop(self, packet: "Packet") -> bool:
-        if self.loss_rate > 0.0 and self.sim.rng.random() < self.loss_rate:
+        if self.failed or (
+                self.loss_rate > 0.0 and self.sim.rng.random() < self.loss_rate):
             if self.tracer is not None:
                 self.tracer.count("link.dropped")
                 self.tracer.event(self.sim.now, "drop", packet=packet.uid, kind=packet.kind)

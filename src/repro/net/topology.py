@@ -13,7 +13,7 @@ answers the two control-plane questions the schemes need:
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..obs.registry import MetricsRegistry
 from ..sim import NULL_TRACER, Simulator, Tracer
@@ -128,6 +128,43 @@ class Network:
         if not isinstance(node, Switch):
             raise NodeError(f"node {name!r} is not a switch")
         return node
+
+    def link_between(self, a: str, b: str) -> Link:
+        """The (first) link directly joining nodes ``a`` and ``b``."""
+        node_a, node_b = self.node(a), self.node(b)
+        for link in node_a.links:
+            if link.other(node_a) is node_b:
+                return link
+        raise NodeError(f"no link between {a!r} and {b!r}")
+
+    # -- partitions --------------------------------------------------------
+    def set_partition(self, groups: Sequence[Iterable[str]]) -> None:
+        """Split the named hosts into isolated groups.
+
+        Hosts in different groups drop each other's traffic at ingress;
+        hosts named in no group keep talking to everyone.  Packets still
+        traverse links and switches (and pay their costs) — the filter
+        models endpoint unreachability, which is what the discovery and
+        runtime layers observe during a real partition.
+        """
+        mapping: Dict[str, int] = {}
+        for index, group in enumerate(groups):
+            for name in group:
+                self.host(name)  # raises on unknown / non-host names
+                if name in mapping:
+                    raise NodeError(f"host {name!r} appears in two groups")
+                mapping[name] = index
+        for host in self.hosts:
+            group = mapping.get(host.name)
+            if group is None:
+                host.clear_partition()
+            else:
+                host.set_partition(group, mapping)
+
+    def clear_partition(self) -> None:
+        """Heal any partition: every host accepts all traffic again."""
+        for host in self.hosts:
+            host.clear_partition()
 
     @property
     def hosts(self) -> List[Host]:

@@ -26,6 +26,8 @@ __all__ = [
     "SPAN_INVOKE", "SPAN_PLACEMENT", "SPAN_REQUEST", "SPAN_STAGE_IN",
     "SPAN_FETCH", "SPAN_QUEUE", "SPAN_COMPUTE", "SPAN_RETURN",
     "K_INVOCATIONS", "K_PLACED_AT", "K_INVOKE_US",
+    "K_INVOKE_RETRIES", "K_INVOKE_FAILOVER", "K_INVOKE_DEADLINE",
+    "K_HEALTH_SUSPECTED", "K_HEALTH_CLEARED", "K_FAULTS_INJECTED",
 ]
 
 KINDS = ("counter", "series", "event", "span")
@@ -62,6 +64,12 @@ SPAN_RETURN = "return"
 K_INVOCATIONS = "runtime.invocations"
 K_PLACED_AT = "runtime.placed_at."  # prefix family; suffix = node name
 K_INVOKE_US = "runtime.invoke_us"
+K_INVOKE_RETRIES = "invoke.retries"
+K_INVOKE_FAILOVER = "invoke.failover"
+K_INVOKE_DEADLINE = "invoke.deadline_exceeded"
+K_HEALTH_SUSPECTED = "health.suspected"
+K_HEALTH_CLEARED = "health.cleared"
+K_FAULTS_INJECTED = "faults.injected."  # prefix family; suffix = event kind
 
 
 def _k(name: str, kind: str, unit: str, description: str) -> KeySpec:
@@ -93,6 +101,12 @@ VOCABULARY: Tuple[KeySpec, ...] = (
        "Invocations placed on each node; suffix is the node name."),
     _k("runtime.invoke_us", "series", "µs",
        "End-to-end invocation latency."),
+    _k("invoke.retries", "counter", "1",
+       "Extra invocation attempts after a deadline or retryable NACK."),
+    _k("invoke.failover", "counter", "1",
+       "Invocations completed on a re-placed node after a failed attempt."),
+    _k("invoke.deadline_exceeded", "counter", "1",
+       "Remote-exec attempts whose reply deadline expired."),
     # ---- placement.* (tracer `core.placement`) ------------------------------
     _k("placement.decisions", "counter", "1",
        "Successful placement decisions."),
@@ -124,6 +138,11 @@ VOCABULARY: Tuple[KeySpec, ...] = (
     _k("node.write_denied", "counter", "1",
        "Write requests refused by the ACL."),
     _k("node.remote_write", "counter", "1", "Remote writes completed."),
+    # ---- health.* (tracer `runtime.health`) ---------------------------------
+    _k("health.suspected", "counter", "1",
+       "Nodes marked suspected-dead after an invocation deadline."),
+    _k("health.cleared", "counter", "1",
+       "Suspicions cleared by reply traffic from the node."),
     # ---- host.* (tracer `net.host.<name>`) ----------------------------------
     _k("host.tx", "counter", "1", "Packets sent."),
     _k("host.tx_bytes", "counter", "bytes", "Payload bytes sent."),
@@ -141,6 +160,8 @@ VOCABULARY: Tuple[KeySpec, ...] = (
        "Accepted packets with no registered handler."),
     _k("host.dropped_while_failed", "counter", "1",
        "Packets dropped while the host was failed."),
+    _k("host.dropped_partitioned", "counter", "1",
+       "Packets dropped at ingress from across a partition."),
     _k("host.failed", "counter", "1", "Failure transitions."),
     _k("host.recovered", "counter", "1", "Recovery transitions."),
     # ---- switch.* (tracer `net.switch.<name>`) ------------------------------
@@ -177,6 +198,12 @@ VOCABULARY: Tuple[KeySpec, ...] = (
        "Automatic tally per structured-event category (Tracer.event)."),
     _k("drop", "event", "1",
        "Structured record of one link-level packet drop."),
+    # ---- faults.* (tracer `faults.injector`) --------------------------------
+    _k("faults.injected.*", "counter", "1",
+       "Fault-plan events applied, by kind (crash, recover, link_down, "
+       "link_up, degrade, restore, partition, heal)."),
+    _k("fault", "event", "1",
+       "Structured record of one applied fault-plan event."),
     # ---- discovery: e2e.* (tracer `discovery.e2e`) --------------------------
     _k("e2e.broadcast", "counter", "1", "FIND broadcasts issued."),
     _k("e2e.stale", "counter", "1",

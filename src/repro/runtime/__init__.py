@@ -1,15 +1,25 @@
 """The global-space runtime: cluster nodes, execution contexts, and the
 rendezvous invocation engine — the paper's headline programming model."""
 
-from .engine import MODE_EAGER, MODE_LAZY, GlobalSpaceRuntime, InvokeResult
-from .node import ClusterNode, ExecutionContext, RuntimeError_
+from .engine import (
+    MODE_EAGER,
+    MODE_LAZY,
+    GlobalSpaceRuntime,
+    InvokeResult,
+    InvokeTimeout,
+    RetryPolicy,
+)
+from .node import ClusterNode, ExecutionContext, FetchTimeout, RuntimeError_
 from .plan import Plan, PlanResult, PlanStep, run_plan
 
 __all__ = [
     "GlobalSpaceRuntime",
     "InvokeResult",
+    "InvokeTimeout",
+    "RetryPolicy",
     "ClusterNode",
     "ExecutionContext",
+    "FetchTimeout",
     "RuntimeError_",
     "MODE_EAGER",
     "MODE_LAZY",

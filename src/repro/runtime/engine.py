@@ -36,8 +36,12 @@ from ..core.refs import GlobalRef
 from ..core.security import PolicyRegistry
 from ..core.space import ObjectSpace
 from ..core.objectid import IDAllocator
+from ..faults.health import HealthLedger
 from ..obs.keys import (
     K_INVOCATIONS,
+    K_INVOKE_DEADLINE,
+    K_INVOKE_FAILOVER,
+    K_INVOKE_RETRIES,
     K_INVOKE_US,
     K_PLACED_AT,
     SPAN_INVOKE,
@@ -46,17 +50,82 @@ from ..obs.keys import (
     SPAN_RETURN,
 )
 from ..obs.span import SpanRecorder
-from ..sim import Simulator, Tracer
+from ..sim import AnyOf, Simulator, Timeout, Tracer
 from ..net.packet import Packet
 from ..net.topology import Network
 from ..rpc.serializer import decode, encode
 from . import messages as m
-from .node import ClusterNode, RuntimeError_
+from .node import ClusterNode, FetchTimeout, RuntimeError_
 
-__all__ = ["GlobalSpaceRuntime", "InvokeResult", "MODE_EAGER", "MODE_LAZY"]
+__all__ = [
+    "GlobalSpaceRuntime",
+    "InvokeResult",
+    "InvokeTimeout",
+    "RetryPolicy",
+    "MODE_EAGER",
+    "MODE_LAZY",
+]
 
 MODE_EAGER = "eager"  # stage every input object at the executor up front
 MODE_LAZY = "lazy"    # stage only the code; data moves on demand
+
+
+class InvokeTimeout(RuntimeError_):
+    """An invocation exhausted its retry budget (or its candidates)
+    without any executor producing a result — the typed surface of the
+    §5 partial-failure case.  Callers catch this instead of a hang."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard :meth:`GlobalSpaceRuntime.invoke` fights partial failure.
+
+    Each attempt's remote leg is bounded by ``deadline_us`` of simulated
+    time; a deadline expiry or a retryable NACK marks the executor
+    suspected, waits out a deterministic exponential backoff (jittered
+    from the simulator's seeded RNG, so runs stay reproducible), and
+    re-runs placement over the candidates not yet tried.  ``max_attempts``
+    bounds the total placements, including the first.
+    """
+
+    max_attempts: int = 3
+    deadline_us: float = 100_000.0
+    backoff_base_us: float = 1_000.0
+    backoff_factor: float = 2.0
+    jitter_frac: float = 0.1
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.deadline_us <= 0:
+            raise ValueError("deadline_us must be positive")
+        if self.backoff_base_us < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff must be non-negative and non-shrinking")
+        if not 0.0 <= self.jitter_frac < 1.0:
+            raise ValueError("jitter_frac must be in [0, 1)")
+
+    def backoff_us(self, attempt: int, rng) -> float:
+        """Delay before retry number ``attempt`` (1-based), jittered via
+        the (seeded, deterministic) ``rng``."""
+        base = self.backoff_base_us * self.backoff_factor ** (attempt - 1)
+        if self.jitter_frac:
+            base *= 1.0 + self.jitter_frac * (2.0 * rng.random() - 1.0)
+        return base
+
+
+class _AttemptFailed(Exception):
+    """Internal: one invocation attempt died; carries who to avoid next.
+
+    ``suspect=False`` for retryable NACKs — the executor answered (it is
+    alive), it just could not complete; re-place elsewhere without
+    poisoning its health record.
+    """
+
+    def __init__(self, executor: str, reason: str, suspect: bool = True):
+        super().__init__(reason)
+        self.executor = executor
+        self.reason = reason
+        self.suspect = suspect
 
 
 @dataclass
@@ -86,7 +155,9 @@ class GlobalSpaceRuntime:
                  placement: Optional[PlacementEngine] = None,
                  policies: Optional[PolicyRegistry] = None,
                  allocator_seed: int = 1,
-                 lazy_touch_fraction: float = 0.1):
+                 lazy_touch_fraction: float = 0.1,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 health: Optional[HealthLedger] = None):
         self.network = network
         self.sim: Simulator = network.sim
         self.registry = registry if registry is not None else FunctionRegistry()
@@ -95,6 +166,8 @@ class GlobalSpaceRuntime:
         self.policies = policies if policies is not None else PolicyRegistry()
         self.allocator = IDAllocator(seed=allocator_seed)
         self.lazy_touch_fraction = lazy_touch_fraction
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.health = health if health is not None else HealthLedger(self.sim)
         self.tracer = Tracer()
         self.spans = SpanRecorder(self.sim)
         # The network owns the cluster-wide registry; the runtime joins
@@ -102,6 +175,8 @@ class GlobalSpaceRuntime:
         self.metrics = network.metrics
         self.metrics.register("runtime.engine", self.tracer, replace=True)
         self.metrics.register("core.placement", self.placement.tracer,
+                              replace=True)
+        self.metrics.register("runtime.health", self.health.tracer,
                               replace=True)
         self.nodes: Dict[str, ClusterNode] = {}
         self._base_profiles: Dict[str, NodeProfile] = {}
@@ -247,14 +322,21 @@ class GlobalSpaceRuntime:
 
     # -- placement inputs ------------------------------------------------------
     def live_profiles(self, candidates: Optional[Iterable[str]] = None) -> List[NodeProfile]:
-        """Node profiles with live queue depths folded in."""
+        """Node profiles with live queue depths folded in.
+
+        Suspected-unhealthy nodes (see :class:`HealthLedger`) appear
+        with their queue depth inflated by the suspicion penalty, so
+        placement steers new work away from them without hard-excluding
+        the only feasible candidate.
+        """
         names = list(candidates) if candidates is not None else list(self.nodes)
         profiles = []
         for name in names:
             base = self._base_profiles[name]
             profiles.append(NodeProfile(
                 name=base.name, speed=base.speed,
-                active_jobs=self.nodes[name].active_jobs,
+                active_jobs=(self.nodes[name].active_jobs
+                             + self.health.penalty_jobs(name)),
                 capacity_bytes=base.capacity_bytes,
                 can_execute=base.can_execute,
             ))
@@ -279,7 +361,8 @@ class GlobalSpaceRuntime:
                pinned: Iterable[str] = (),
                candidates: Optional[Iterable[str]] = None,
                decode_args: Iterable[str] = (),
-               materialize_result: bool = False):
+               materialize_result: bool = False,
+               retry: Optional[RetryPolicy] = None):
         """Process: run the code behind ``code_ref`` against ``data_refs``.
 
         ``pinned`` names data arguments that may not be moved off their
@@ -290,6 +373,13 @@ class GlobalSpaceRuntime:
         leaves the result as an object at the executor and returns only
         its descriptor — see :mod:`repro.runtime.plan`.  Returns
         :class:`InvokeResult`.
+
+        Remote attempts are bounded by ``retry`` (default: the runtime's
+        :class:`RetryPolicy`): on a deadline expiry or retryable NACK the
+        invocation backs off, marks the executor suspected, and re-runs
+        placement over the candidates not yet tried — failover instead of
+        a hang.  When the budget or the candidate set runs out it raises
+        :class:`InvokeTimeout`.
         """
         if invoker not in self.nodes:
             raise RuntimeError_(f"invoker {invoker!r} is not a cluster node")
@@ -329,41 +419,71 @@ class GlobalSpaceRuntime:
                 result_bytes=result_bytes,
                 flops=flops,
             )
-            # Deciding costs no simulated time: a zero-width span that
-            # records what was decided (error-finished by the handler
-            # below if the decision fails).
-            pspan = self.spans.start(SPAN_PLACEMENT, parent=root, node=invoker)
-            decision = self.placement.decide(
-                request, self.live_profiles(candidates),
-                self._effective_distance)
-            self.spans.finish(pspan, node=decision.node,
-                              considered=len(candidates),
-                              est_total_us=decision.total_us)
-            self.tracer.count(K_INVOCATIONS)
-            self.tracer.count(f"{K_PLACED_AT}{decision.node}")
-
-            stage: List[ObjectID] = [code_ref.oid]
-            if mode == MODE_EAGER:
-                stage.extend(ref.oid for ref in data_refs.values()
-                             if decision.node not in self.holders(ref.oid))
-            compute_us = decision.compute_us
-
-            executor = self.node(decision.node)
+            policy = retry if retry is not None else self.retry_policy
             decode_args = list(decode_args)
-            if decision.node == invoker:
-                result = yield from executor.stage_and_execute(
-                    code_ref.oid, stage, data_refs, values, compute_us,
-                    decode_args=decode_args, materialize=materialize_result,
-                    span=root)
-                # Local result handoff is free: zero-width return phase.
-                self.spans.start(SPAN_RETURN, parent=root,
-                                 node=invoker).finish(local=True)
-            else:
-                result = yield from self._remote_exec(
-                    invoker, decision.node, code_ref.oid, stage, data_refs,
-                    values, compute_us, result_bytes,
-                    decode_args=decode_args, materialize=materialize_result,
-                    span=root)
+            attempt = 0
+            tried: Set[str] = set()
+            while True:
+                remaining = [c for c in candidates if c not in tried]
+                # Deciding costs no simulated time: a zero-width span
+                # that records what was decided (error-finished by the
+                # handler below if the decision fails).  Each failover
+                # attempt gets its own placement span.
+                pspan = self.spans.start(SPAN_PLACEMENT, parent=root,
+                                         node=invoker)
+                decision = self.placement.decide(
+                    request, self.live_profiles(remaining),
+                    self._effective_distance)
+                self.spans.finish(pspan, node=decision.node,
+                                  considered=len(remaining),
+                                  est_total_us=decision.total_us)
+                if attempt == 0:
+                    self.tracer.count(K_INVOCATIONS)
+                self.tracer.count(f"{K_PLACED_AT}{decision.node}")
+
+                stage: List[ObjectID] = [code_ref.oid]
+                if mode == MODE_EAGER:
+                    stage.extend(ref.oid for ref in data_refs.values()
+                                 if decision.node not in self.holders(ref.oid))
+                compute_us = decision.compute_us
+
+                executor = self.node(decision.node)
+                try:
+                    if decision.node == invoker:
+                        result = yield from executor.stage_and_execute(
+                            code_ref.oid, stage, data_refs, values, compute_us,
+                            decode_args=decode_args,
+                            materialize=materialize_result, span=root)
+                        # Local result handoff is free: zero-width return
+                        # phase.
+                        self.spans.start(SPAN_RETURN, parent=root,
+                                         node=invoker).finish(local=True)
+                    else:
+                        result = yield from self._remote_exec(
+                            invoker, decision.node, code_ref.oid, stage,
+                            data_refs, values, compute_us, result_bytes,
+                            decode_args=decode_args,
+                            materialize=materialize_result, span=root,
+                            deadline_us=policy.deadline_us)
+                except _AttemptFailed as failure:
+                    if failure.suspect:
+                        self.health.suspect(failure.executor)
+                    tried.add(failure.executor)
+                    attempt += 1
+                    if (attempt >= policy.max_attempts
+                            or all(c in tried for c in candidates)):
+                        raise InvokeTimeout(
+                            f"invocation of {code_ref.oid.short()} gave up "
+                            f"after {attempt} attempt(s); last executor "
+                            f"{failure.executor}: {failure.reason}") from None
+                    self.tracer.count(K_INVOKE_RETRIES)
+                    yield Timeout(policy.backoff_us(attempt, self.sim.rng))
+                    continue
+                break
+            if attempt > 0:
+                # Completed, but not on the first executor we asked.
+                self.tracer.count(K_INVOKE_FAILOVER)
+                self.health.clear(decision.node)
         except BaseException as exc:
             for span in self.spans.spans(root.trace_id):
                 if not span.finished:
@@ -371,7 +491,13 @@ class GlobalSpaceRuntime:
             raise
         latency = self.sim.now - start
         self.tracer.sample(K_INVOKE_US, latency, self.sim.now)
-        self.spans.finish(root, latency_us=latency, executed_at=decision.node)
+        if attempt > 0:
+            self.spans.finish(root, latency_us=latency,
+                              executed_at=decision.node,
+                              attempts=attempt + 1, failover=True)
+        else:
+            self.spans.finish(root, latency_us=latency,
+                              executed_at=decision.node)
         return InvokeResult(
             value=result, executed_at=decision.node, latency_us=latency,
             decision=decision, invoke_id=invoke_id,
@@ -380,9 +506,17 @@ class GlobalSpaceRuntime:
     def _remote_exec(self, invoker: str, executor: str, code_oid: ObjectID,
                      stage: List[ObjectID], data_refs: Dict[str, GlobalRef],
                      values: Dict[str, Any], compute_us: float,
-                     result_bytes: int, decode_args: List[str] = [],
-                     materialize: bool = False, span=None):
+                     result_bytes: int,
+                     decode_args: Optional[List[str]] = None,
+                     materialize: bool = False, span=None,
+                     deadline_us: Optional[float] = None):
         node = self.node(invoker)
+        decode_args = list(decode_args) if decode_args is not None else []
+        if deadline_us is None:
+            # Never wait unboundedly on a host that may have crashed:
+            # callers that do not bring a policy deadline still get the
+            # node's request timeout.
+            deadline_us = node.request_timeout_us
         req_id, future = node._new_future()
         wire_values = encode(values)
         payload = {
@@ -413,7 +547,19 @@ class GlobalSpaceRuntime:
             payload_bytes=m.EXEC_REQ_OVERHEAD_BYTES + len(wire_values)
             + 24 * len(data_refs),
         ))
-        reply = yield future
+        index, reply = yield AnyOf([future, Timeout(deadline_us)])
+        if index == 1:
+            # Deadline expired with the request still outstanding: the
+            # executor (or the path to it) is gone or wedged.  Drop the
+            # pending future — a late reply finds nothing to resume —
+            # and surface a retryable attempt failure for the failover
+            # loop in :meth:`invoke`.
+            node._pending.pop(req_id, None)
+            self.tracer.count(K_INVOKE_DEADLINE)
+            if span is not None and not req_span.finished:
+                self.spans.finish(req_span, error="deadline")
+            raise _AttemptFailed(
+                executor, f"no reply within {deadline_us:.0f}us")
         ret_span = reply.payload.get("ret_span")
         if ret_span is not None:
             # Closing the executor-opened return span here stamps the
@@ -421,5 +567,11 @@ class GlobalSpaceRuntime:
             self.spans.finish_id(ret_span)
         result = decode(reply.payload["result"])
         if not reply.payload["ok"]:
+            if reply.payload.get("retryable"):
+                # The executor is alive but could not complete (its data
+                # source timed out under it) — fail over without marking
+                # it suspected.
+                raise _AttemptFailed(
+                    executor, f"retryable failure: {result}", suspect=False)
             raise RuntimeError_(f"remote execution on {executor} failed: {result}")
         return result

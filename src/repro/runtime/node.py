@@ -47,13 +47,22 @@ from . import messages as m
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .engine import GlobalSpaceRuntime
 
-__all__ = ["ClusterNode", "ExecutionContext", "RuntimeError_"]
+__all__ = ["ClusterNode", "ExecutionContext", "FetchTimeout", "RuntimeError_"]
 
 _req_ids = itertools.count(1)
 
 
 class RuntimeError_(Exception):
     """Runtime-layer failures (missing objects, unknown entries...)."""
+
+
+class FetchTimeout(RuntimeError_):
+    """A fetch or demand-read exhausted every replica without a reply.
+
+    Distinguished from plain :class:`RuntimeError_` so an executor
+    serving someone else's invocation can NACK it as *retryable*: the
+    executor itself is fine, its data source is the suspect, and the
+    invoker should re-place rather than give up."""
 
 
 class ClusterNode:
@@ -93,6 +102,10 @@ class ClusterNode:
         return req_id, future
 
     def _on_reply(self, packet: Packet) -> None:
+        # Any reply is proof of life: clear the sender's suspicion (a
+        # late reply after our deadline still rehabilitates the node).
+        if packet.src is not None:
+            self.runtime.health.clear(packet.src)
         future = self._pending.pop(packet.payload["req_id"], None)
         if future is not None and not future.done:
             future.set_result(packet)
@@ -199,9 +212,15 @@ class ClusterNode:
                 code_oid, stage, refs, values, compute_us,
                 decode_args=decode_args, materialize=materialize, span=parent)
             ok, wire_result = True, encode(result)
+            retryable = False
         except Exception as exc:
             ok, wire_result = False, encode(str(exc))
+            # A fetch timeout means *our* data source is suspect, not
+            # this executor: tell the invoker the attempt is retryable.
+            retryable = isinstance(exc, FetchTimeout)
         payload = {"req_id": req_id, "ok": ok, "result": wire_result}
+        if retryable:
+            payload["retryable"] = True
         if parent is not None:
             # The return span opens as the reply leaves and is finished
             # by the invoker on arrival — the inbound wire leg.
@@ -327,9 +346,12 @@ class ClusterNode:
         if holder is not None:
             sources = [holder]
         else:
+            # Tie-break equidistant holders by name: a bare distance key
+            # would fall back to set-iteration order, which varies with
+            # hash randomization across processes.
             sources = sorted(
                 self.runtime.holders(oid),
-                key=lambda h: self.runtime.network.hop_distance(h, self.name))
+                key=lambda h: (self.runtime.network.hop_distance(h, self.name), h))
         last_error = None
         for source in sources:
             if source == self.name:
@@ -343,7 +365,8 @@ class ClusterNode:
             if index == 1:
                 self._pending.pop(req_id, None)
                 self.tracer.count("node.fetch_timeout")
-                last_error = RuntimeError_(
+                self.runtime.health.suspect(source)
+                last_error = FetchTimeout(
                     f"fetch of {oid.short()} from {source} timed out")
                 continue
             if reply.kind == m.KIND_FETCH_NACK:
@@ -369,9 +392,12 @@ class ClusterNode:
         if holder is not None:
             sources = [holder]
         else:
+            # Tie-break equidistant holders by name: a bare distance key
+            # would fall back to set-iteration order, which varies with
+            # hash randomization across processes.
             sources = sorted(
                 self.runtime.holders(oid),
-                key=lambda h: self.runtime.network.hop_distance(h, self.name))
+                key=lambda h: (self.runtime.network.hop_distance(h, self.name), h))
         last_error = None
         for source in sources:
             req_id, future = self._new_future()
@@ -384,7 +410,8 @@ class ClusterNode:
             if index == 1:
                 self._pending.pop(req_id, None)
                 self.tracer.count("node.read_timeout")
-                last_error = RuntimeError_(
+                self.runtime.health.suspect(source)
+                last_error = FetchTimeout(
                     f"read of {oid.short()} from {source} timed out")
                 continue
             if not reply.payload["ok"]:

@@ -3,8 +3,13 @@
 "Perhaps foremost among them is the tension between partial failure
 (inevitable in any distributed system), fault tolerance, and mechanisms
 that attempt to hide the movement of computation and data."
+
+The assertions here hold for *any* seed, so CI re-runs this module
+under several ``REPRO_SEED_OFFSET`` values (see the fault-seed-matrix
+job): every seed below is shifted by that offset.
 """
 
+import os
 
 from repro.core import FunctionRegistry, GlobalRef, IDAllocator, ObjectSpace
 from repro.discovery import E2EResolver, ObjectHome
@@ -12,10 +17,16 @@ from repro.net import build_paper_topology, build_star
 from repro.runtime import GlobalSpaceRuntime, RuntimeError_
 from repro.sim import Simulator, Timeout
 
+SEED_OFFSET = int(os.environ.get("REPRO_SEED_OFFSET", "0"))
+
+
+def _seed(n):
+    return n + SEED_OFFSET
+
 
 class TestHostFailure:
     def test_failed_host_drops_traffic(self):
-        sim = Simulator(seed=1)
+        sim = Simulator(seed=_seed(1))
         net = build_star(sim, 2)
         got = []
         net.host("h1").on("m", lambda p: got.append(p))
@@ -32,7 +43,7 @@ class TestHostFailure:
         assert net.host("h1").tracer.counters["host.dropped_while_failed"] == 1
 
     def test_failed_host_sends_nothing(self):
-        sim = Simulator(seed=2)
+        sim = Simulator(seed=_seed(2))
         net = build_star(sim, 2)
         net.host("h0").fail()
 
@@ -46,7 +57,7 @@ class TestHostFailure:
         assert net.host("h1").tracer.counters["host.rx"] == 0
 
     def test_recovery_restores_traffic(self):
-        sim = Simulator(seed=3)
+        sim = Simulator(seed=_seed(3))
         net = build_star(sim, 2)
         got = []
         net.host("h1").on("m", lambda p: got.append(p))
@@ -67,9 +78,9 @@ class TestHostFailure:
 
 class TestDiscoveryUnderFailure:
     def test_e2e_access_to_dead_responder_fails_cleanly(self):
-        sim = Simulator(seed=4)
+        sim = Simulator(seed=_seed(4))
         net = build_paper_topology(sim)
-        allocator = IDAllocator(seed=5)
+        allocator = IDAllocator(seed=_seed(5))
         home = ObjectHome(net.host("resp1"),
                           ObjectSpace(allocator, host_name="resp1"))
         resolver = E2EResolver(net.host("driver"), timeout_us=1_000.0,
@@ -86,9 +97,9 @@ class TestDiscoveryUnderFailure:
         assert resolver.tracer.counters["e2e.timeout"] > 0
 
     def test_e2e_recovers_after_responder_returns(self):
-        sim = Simulator(seed=6)
+        sim = Simulator(seed=_seed(6))
         net = build_paper_topology(sim)
-        allocator = IDAllocator(seed=7)
+        allocator = IDAllocator(seed=_seed(7))
         home = ObjectHome(net.host("resp1"),
                           ObjectSpace(allocator, host_name="resp1"))
         resolver = E2EResolver(net.host("driver"), timeout_us=1_000.0,
@@ -108,7 +119,7 @@ class TestDiscoveryUnderFailure:
 
 
 def make_cluster(seed=8):
-    sim = Simulator(seed=seed)
+    sim = Simulator(seed=_seed(seed))
     net = build_star(sim, 4, prefix="n")
     registry = FunctionRegistry()
     runtime = GlobalSpaceRuntime(net, registry)
