@@ -65,6 +65,7 @@ INSTRUMENTED = (
     "discovery/e2e.py",
     "discovery/hybrid.py",
     "discovery/controller.py",
+    "discovery/sharded.py",
 )
 
 # Keys emitted through a named constant rather than a string literal.

@@ -533,3 +533,65 @@ def faults_invoke_failover(seed: int, scale: dict) -> ScenarioResult:
     counters = _fault_counters(net, {"completed": invocations})
     return ScenarioResult(ops=invocations, sim_time_us=sim.now,
                           counters=counters)
+
+
+# ---------------------------------------------------------------------------
+# discovery: the sharded controller plane with requester-side leases
+# ---------------------------------------------------------------------------
+
+
+@register(
+    "discovery.controller_sharded",
+    "sharded directory + lease cache across 1/2/4 shards, cache on/off",
+    quick={"accesses": 40, "objects": 24, "shards": [1, 2, 4]},
+    full={"accesses": 300, "objects": 120, "shards": [1, 2, 4]},
+)
+def discovery_controller_sharded(seed: int, scale: dict) -> ScenarioResult:
+    from repro.discovery import run_sharded_point
+
+    accesses, objects = scale["accesses"], scale["objects"]
+    counters, total_ops, total_rtt = {}, 0, 0.0
+    configs = [(n, True) for n in scale["shards"]] + [(max(scale["shards"]), False)]
+    for n_shards, use_leases in configs:
+        point = run_sharded_point(
+            n_shards, n_objects=objects, n_accesses=accesses,
+            seed=seed, use_leases=use_leases)
+        assert point.failures == 0, "sharded access stream must not fail"
+        tag = f"sharded.s{n_shards}" + ("" if use_leases else "_nolease")
+        counters[f"{tag}.mean_rtt_x1000"] = int(point.mean_rtt_us * 1000)
+        counters[f"{tag}.lease_hits"] = point.lease_hits
+        counters[f"{tag}.max_shard_load"] = max(point.advertise_load.values())
+        total_ops += accesses
+        total_rtt += sum(r.latency_us for r in point.records if r.ok)
+    return ScenarioResult(ops=total_ops, sim_time_us=total_rtt,
+                          counters=counters)
+
+
+@register(
+    "discovery.shard_failover",
+    "shard crash mid-stream: leases + successor shards keep accesses flowing",
+    quick={"accesses": 60, "objects": 16},
+    full={"accesses": 300, "objects": 60},
+)
+def discovery_shard_failover(seed: int, scale: dict) -> ScenarioResult:
+    from repro.discovery import run_sharded_point
+
+    point = run_sharded_point(
+        4, n_objects=scale["objects"], n_accesses=scale["accesses"],
+        seed=seed, lease_ttl_us=20_000.0, refresh_interval_us=5_000.0,
+        gap_us=1_000.0, shard_crash_window=(30_000.0, 90_000.0))
+    assert point.failures == 0, "failover must complete the access stream"
+    assert point.shard_failovers >= 1, "the crash never forced a failover"
+    total_rtt = sum(r.latency_us for r in point.records if r.ok)
+    return ScenarioResult(
+        ops=scale["accesses"],
+        sim_time_us=total_rtt,
+        counters={
+            "sharded.mean_rtt_x1000": int(point.mean_rtt_us * 1000),
+            "sharded.failovers": point.shard_failovers,
+            "sharded.lease_hits": point.lease_hits,
+            "sharded.lease_misses": point.lease_misses,
+            "sharded.lease_invalidated": point.lease_invalidated,
+            "sharded.failures": point.failures,
+        },
+    )

@@ -1,8 +1,9 @@
 """Object discovery: how the network learns where objects live (§4).
 
-Two schemes — decentralized E2E (ARP-like destination caches filled by
-broadcast) and SDN-controller-installed identity routes — plus the
-workload drivers that regenerate Figures 2 and 3.
+Three schemes — decentralized E2E (ARP-like destination caches filled
+by broadcast), SDN-controller-installed identity routes, and a sharded
+controller directory with requester-side TTL leases — plus the workload
+drivers that regenerate Figures 2 and 3 and the E18 sharding sweep.
 """
 
 from .base import (
@@ -11,16 +12,30 @@ from .base import (
     KIND_ACCESS_REQ,
     KIND_ACCESS_RSP,
     KIND_ADVERTISE,
+    KIND_ADVERTISE_ACK,
     KIND_FIND,
     KIND_FOUND,
+    KIND_LEASE_INVALIDATE,
+    KIND_RESOLVE_REQ,
+    KIND_RESOLVE_RSP,
     AccessRecord,
     DiscoveryError,
     ObjectHome,
     move_object,
 )
-from .controller import IdentityAccessor, SdnController, advertise
+from .controller import DirectoryController, IdentityAccessor, SdnController, advertise
 from .e2e import E2EResolver
 from .hybrid import HybridAccessor
+from .sharded import (
+    SCHEME_SHARDED,
+    LeaseCachingResolver,
+    ShardAdvertiser,
+    ShardDirectory,
+    ShardedSweepResult,
+    ShardedTestbed,
+    ShardMap,
+    run_sharded_point,
+)
 from .workload import (
     SCHEME_CONTROLLER,
     SCHEME_E2E,
@@ -36,14 +51,23 @@ __all__ = [
     "move_object",
     "E2EResolver",
     "HybridAccessor",
+    "DirectoryController",
     "SdnController",
     "IdentityAccessor",
     "advertise",
+    "ShardMap",
+    "ShardDirectory",
+    "ShardAdvertiser",
+    "LeaseCachingResolver",
+    "ShardedTestbed",
+    "ShardedSweepResult",
+    "run_sharded_point",
     "SweepPoint",
     "run_fig2_point",
     "run_fig3_point",
     "SCHEME_E2E",
     "SCHEME_CONTROLLER",
+    "SCHEME_SHARDED",
     "ACCESS_BYTES",
     "KIND_FIND",
     "KIND_FOUND",
@@ -51,4 +75,8 @@ __all__ = [
     "KIND_ACCESS_RSP",
     "KIND_ACCESS_NACK",
     "KIND_ADVERTISE",
+    "KIND_ADVERTISE_ACK",
+    "KIND_RESOLVE_REQ",
+    "KIND_RESOLVE_RSP",
+    "KIND_LEASE_INVALIDATE",
 ]

@@ -34,6 +34,10 @@ __all__ = [
     "KIND_ACCESS_RSP",
     "KIND_ACCESS_NACK",
     "KIND_ADVERTISE",
+    "KIND_ADVERTISE_ACK",
+    "KIND_RESOLVE_REQ",
+    "KIND_RESOLVE_RSP",
+    "KIND_LEASE_INVALIDATE",
     "ACCESS_BYTES",
     "AccessRecord",
     "ObjectHome",
@@ -50,6 +54,11 @@ KIND_ACCESS_RSP = "obj.access_rsp"
 KIND_ACCESS_NACK = "obj.access_nack"  # object is not (any longer) here
 # Controller vocabulary.
 KIND_ADVERTISE = "ctl.advertise"
+# Sharded-directory vocabulary (controller plane split across shards).
+KIND_ADVERTISE_ACK = "ctl.advertise_ack"   # shard -> owner: advertisement stored
+KIND_RESOLVE_REQ = "shard.resolve_req"     # requester -> shard: who holds X?
+KIND_RESOLVE_RSP = "shard.resolve_rsp"     # shard -> requester: holder + lease
+KIND_LEASE_INVALIDATE = "shard.lease_inval"  # shard -> lease holder: drop X
 
 ACCESS_BYTES = 64  # one cache line per access, per §3.2
 

@@ -4,7 +4,9 @@
 which are then responsible for updating forwarding tables of switches...
 the controller scheme has uniform latency of 1 RTT (and is unicast)."
 
-Three pieces:
+Three pieces (the advertisement ingress itself lives in
+:class:`DirectoryController`, shared with the sharded plane in
+:mod:`repro.discovery.sharded`):
 
 * :class:`SdnController` — logic attached to the controller host; on an
   ``ctl.advertise`` it computes, for every switch, the shortest-path
@@ -39,12 +41,58 @@ from .base import (
     DiscoveryError,
 )
 
-__all__ = ["SdnController", "IdentityAccessor", "advertise"]
+__all__ = ["DirectoryController", "SdnController", "IdentityAccessor", "advertise"]
 
 _req_ids = itertools.count(1)
 
 
-class SdnController:
+class DirectoryController:
+    """Advertisement ingress shared by every controller-plane variant.
+
+    Owns the ``{oid: owner}`` directory and the ``ctl.advertise``
+    handler; subclasses decide what accepting an advertisement *does* —
+    the single :class:`SdnController` pushes identity routes into switch
+    tables, the sharded directory (:mod:`repro.discovery.sharded`) acks
+    the owner and invalidates outstanding leases.
+    """
+
+    def __init__(self, host: Host, tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 metrics_name: Optional[str] = None):
+        self.host = host
+        self.sim: Simulator = host.sim
+        self.tracer = tracer or Tracer()
+        if metrics is not None and metrics_name is not None:
+            metrics.register(metrics_name, self.tracer, replace=True)
+        self.owner_of: Dict[ObjectID, str] = {}
+        host.on(KIND_ADVERTISE, self._on_advertise)
+
+    def _on_advertise(self, packet: Packet) -> None:
+        oid = packet.oid
+        assert oid is not None
+        owner = packet.payload["owner"]
+        previous = self.owner_of.get(oid)
+        self.owner_of[oid] = owner
+        self._accepted(oid, owner, previous, packet)
+
+    def _accepted(self, oid: ObjectID, owner: str, previous: Optional[str],
+                  packet: Packet) -> None:
+        """Hook: an advertisement was stored (``previous`` may equal
+        ``owner`` on a refresh)."""
+
+    def supersedes(self, oid: ObjectID, owner: str) -> bool:
+        """True while ``owner`` is still the directory's answer for
+        ``oid`` — deferred work (route installs) checks this so a newer
+        advertisement wins."""
+        return self.owner_of.get(oid) == owner
+
+    @property
+    def objects_tracked(self) -> int:
+        """Number of objects this directory knows about."""
+        return len(self.owner_of)
+
+
+class SdnController(DirectoryController):
     """Controller logic: advertisement ingress + switch table updates.
 
     ``install_delay_us`` models the control-channel and table-write time
@@ -61,39 +109,26 @@ class SdnController:
                  metrics_name: str = "discovery.controller"):
         if install_delay_us < 0:
             raise DiscoveryError("install delay must be non-negative")
+        super().__init__(host, tracer=tracer, metrics=metrics,
+                         metrics_name=metrics_name)
         self.network = network
-        self.host = host
-        self.sim: Simulator = host.sim
         self.install_delay_us = install_delay_us
-        self.tracer = tracer or Tracer()
-        if metrics is not None:
-            metrics.register(metrics_name, self.tracer, replace=True)
-        self.owner_of: Dict[ObjectID, str] = {}
         self.install_failures = 0
-        host.on(KIND_ADVERTISE, self._on_advertise)
 
-    def _on_advertise(self, packet: Packet) -> None:
-        oid = packet.oid
-        assert oid is not None
-        owner = packet.payload["owner"]
+    def _accepted(self, oid: ObjectID, owner: str, previous: Optional[str],
+                  packet: Packet) -> None:
         self.tracer.count("controller.advertised")
-        self.owner_of[oid] = owner
         self.sim.schedule(self.install_delay_us, self._install_routes, oid, owner)
 
     def _install_routes(self, oid: ObjectID, owner: str) -> None:
         """Point every switch's identity table at ``owner`` for ``oid``."""
-        if self.owner_of.get(oid) != owner:
+        if not self.supersedes(oid, owner):
             return  # a newer advertisement superseded this one
         for switch in self.network.switches:
             port = self.network.port_toward(switch.name, owner)
             if not switch.install_identity_route(oid, port):
                 self.install_failures += 1
                 self.tracer.count("controller.install_failed")
-
-    @property
-    def objects_tracked(self) -> int:
-        """Number of objects the controller knows about."""
-        return len(self.owner_of)
 
 
 def advertise(host: Host, oid: ObjectID, controller_host: str = "controller") -> None:

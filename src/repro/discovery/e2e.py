@@ -24,7 +24,7 @@ Protocol, as reproduced (interpretation documented in EXPERIMENTS.md):
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ..core.objectid import ObjectID
 from ..obs.registry import MetricsRegistry
@@ -71,7 +71,7 @@ class E2EResolver:
         host.on(KIND_ACCESS_NACK, self._on_access_nack)
 
     # -- ingress ------------------------------------------------------------
-    def _complete(self, key: int, value) -> None:
+    def _complete(self, key: Tuple[str, int], value) -> None:
         future = self._pending.pop(key, None)
         if future is not None and not future.done:
             future.set_result(value)
@@ -86,14 +86,19 @@ class E2EResolver:
         self._complete(("req", packet.payload["req_id"]), packet)
 
     # -- exchange helper ---------------------------------------------------
-    def _exchange(self, key, send_fn):
+    def _exchange(self, key, send_fn, record: AccessRecord):
         """Process: send via ``send_fn`` and await the keyed reply,
         retrying up to ``max_retries`` times on timeout.  Returns the
-        reply packet or None if every attempt timed out."""
+        reply packet or None if every attempt timed out.
+
+        Each attempt is a full request/reply exchange on the wire, so
+        ``round_trips`` is counted here, per send — counting once at the
+        call site would under-report latency accounting under loss."""
         for _ in range(self.max_retries):
             future = Future(self.sim, name=str(key))
             self._pending[key] = future
             send_fn()
+            record.round_trips += 1
             index, value = yield AnyOf([future, Timeout(self.timeout_us)])
             if index == 0:
                 return value
@@ -129,8 +134,7 @@ class E2EResolver:
                 payload_bytes=24,
             ))
 
-        reply = yield from self._exchange(("req", req_id), send)
-        record.round_trips += 1
+        reply = yield from self._exchange(("req", req_id), send, record)
         if reply is None:
             return False
         if reply.kind == KIND_ACCESS_RSP:
@@ -174,8 +178,7 @@ class E2EResolver:
                 payload_bytes=24,
             ))
 
-        reply = yield from self._exchange(("find", find_id), send)
-        record.round_trips += 1
+        reply = yield from self._exchange(("find", find_id), send, record)
         if reply is None:
             return False
         self.cache[oid] = reply.payload["holder"]

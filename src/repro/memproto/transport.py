@@ -45,9 +45,11 @@ class _PeerTx:
 
     def __init__(self) -> None:
         self.next_seq = 0
+        self.epoch = 0
         self.inflight: Dict[int, Tuple[Packet, ScheduledEvent]] = {}
         self.backlog: Deque[Packet] = deque()
         self.send_times: Dict[int, float] = {}
+        self.attempts: Dict[int, int] = {}
 
 
 class _PeerRx:
@@ -55,6 +57,7 @@ class _PeerRx:
 
     def __init__(self) -> None:
         self.expected_seq = 0
+        self.epoch = 0
         self.out_of_order: Dict[int, Packet] = {}
 
 
@@ -67,13 +70,17 @@ class _TransportBase:
         rto_us: float = 200.0,
         data_kind: str = "rt.data",
         ack_kind: str = "rt.ack",
+        max_retransmits: int = 30,
         tracer: Optional[Tracer] = None,
     ):
         if rto_us <= 0:
             raise TransportError("retransmission timeout must be positive")
+        if max_retransmits < 1:
+            raise TransportError("retransmit budget must be at least 1")
         self.host = host
         self.sim: Simulator = host.sim
         self.rto_us = rto_us
+        self.max_retransmits = max_retransmits
         self.data_kind = data_kind
         self.ack_kind = ack_kind
         self.tracer = tracer or Tracer()
@@ -97,7 +104,7 @@ class _TransportBase:
             kind=self.data_kind,
             src=self.host.name,
             dst=dst,
-            payload={"seq": seq, "data": payload},
+            payload={"seq": seq, "epoch": tx.epoch, "data": payload},
             payload_bytes=_DATA_HEADER_BYTES + payload_bytes,
         )
         tx.send_times[seq] = self.sim.now
@@ -147,15 +154,42 @@ class _TransportBase:
         tx = self._tx.get(dst)
         if tx is None or seq not in tx.inflight:
             return
+        attempts = tx.attempts.get(seq, 0) + 1
+        if attempts > self.max_retransmits:
+            self._declare_peer_dead(dst, tx)
+            return
+        tx.attempts[seq] = attempts
         packet, _ = tx.inflight.pop(seq)
         self.tracer.count("transport.retransmit")
         self._on_timeout_accounting(dst)
         self._transmit(dst, tx, packet)
 
+    def _declare_peer_dead(self, dst: str, tx: _PeerTx) -> None:
+        """The retransmit budget ran out: stop spinning the event heap
+        against ``dst`` and drop all sender state.  A later ``send()``
+        starts a fresh epoch, so a recovered peer resynchronises instead
+        of mistaking the new seq 0 for an ancient duplicate."""
+        self.tracer.count("transport.peer_dead")
+        for _, timer in tx.inflight.values():
+            timer.cancel()
+        tx.inflight.clear()
+        tx.backlog.clear()
+        tx.send_times.clear()
+        tx.attempts.clear()
+        tx.next_seq = 0
+        tx.epoch += 1
+        self._on_peer_dead(dst)
+
+    def _on_peer_dead(self, dst: str) -> None:
+        """Subclass hook: extra state to drop when a peer is declared dead."""
+
     def _on_ack(self, packet: Packet) -> None:
         dst = packet.src
         tx = self._tx.get(dst)
         if tx is None:
+            return
+        if packet.payload.get("epoch", 0) != tx.epoch:
+            self.tracer.count("transport.dup_ack")  # ack from a dead epoch
             return
         seq = packet.payload["seq"]
         entry = tx.inflight.pop(seq, None)
@@ -163,6 +197,7 @@ class _TransportBase:
             self.tracer.count("transport.dup_ack")
             return
         entry[1].cancel()
+        tx.attempts.pop(seq, None)
         sent_at = tx.send_times.pop(seq, None)
         if sent_at is not None:
             self.tracer.sample("transport.delivery_us", self.sim.now - sent_at, self.sim.now)
@@ -175,14 +210,24 @@ class _TransportBase:
         src = packet.src
         rx = self._rx.setdefault(src, _PeerRx())
         seq = packet.payload["seq"]
+        epoch = packet.payload.get("epoch", 0)
         ack = Packet(
             kind=self.ack_kind,
             src=self.host.name,
             dst=src,
-            payload={"seq": seq},
+            payload={"seq": seq, "epoch": epoch},
             payload_bytes=_ACK_BYTES,
         )
         self.host.send(ack)
+        if epoch > rx.epoch:
+            # The sender declared us dead and restarted from seq 0 in a
+            # fresh epoch; realign so the restart is not read as dups.
+            rx.epoch = epoch
+            rx.expected_seq = 0
+            rx.out_of_order.clear()
+        elif epoch < rx.epoch:
+            self.tracer.count("transport.dup_data")  # straggler from a dead epoch
+            return
         if seq < rx.expected_seq or seq in rx.out_of_order:
             self.tracer.count("transport.dup_data")
             return
@@ -215,11 +260,12 @@ class LightweightTransport(_TransportBase):
     handshake, no congestion machinery."""
 
     def __init__(self, host: Host, window: int = 32, rto_us: float = 200.0,
-                 tracer: Optional[Tracer] = None):
+                 max_retransmits: int = 30, tracer: Optional[Tracer] = None):
         if window < 1:
             raise TransportError("window must be at least 1")
         super().__init__(host, rto_us=rto_us, data_kind="lwt.data",
-                         ack_kind="lwt.ack", tracer=tracer)
+                         ack_kind="lwt.ack", max_retransmits=max_retransmits,
+                         tracer=tracer)
         self.window = window
 
     def _window(self, dst: str, tx: _PeerTx) -> int:
@@ -239,9 +285,10 @@ class TcpLikeTransport(_TransportBase):
 
     def __init__(self, host: Host, rto_us: float = 200.0,
                  initial_ssthresh: int = 64, max_window: int = 256,
-                 tracer: Optional[Tracer] = None):
+                 max_retransmits: int = 30, tracer: Optional[Tracer] = None):
         super().__init__(host, rto_us=rto_us, data_kind="tcp.data",
-                         ack_kind="tcp.ack", tracer=tracer)
+                         ack_kind="tcp.ack", max_retransmits=max_retransmits,
+                         tracer=tracer)
         self.initial_ssthresh = initial_ssthresh
         self.max_window = max_window
         self._cwnd: Dict[str, float] = {}
@@ -275,6 +322,12 @@ class TcpLikeTransport(_TransportBase):
             return
         if attempt >= self.MAX_SYN_RETRIES:
             self.tracer.count("transport.handshake_abandoned")
+            # Forget the half-open state entirely: leaving it at False
+            # would strand the peer forever (later sends queue into the
+            # backlog but _ready never sends another SYN).  Back to
+            # "unknown", the next send() restarts the handshake and the
+            # queued backlog flows once it completes.
+            self._connected.pop(dst, None)
             return
         self.host.send(Packet(
             kind=self.HANDSHAKE_SYN, src=self.host.name, dst=dst,
@@ -312,3 +365,10 @@ class TcpLikeTransport(_TransportBase):
         cwnd = self._cwnd.get(dst, 1.0)
         self._ssthresh[dst] = max(2, int(cwnd / 2))
         self._cwnd[dst] = 1.0
+
+    def _on_peer_dead(self, dst: str) -> None:
+        # Drop the connection with the sender state: the next send()
+        # performs a fresh handshake instead of talking to a corpse.
+        self._connected.pop(dst, None)
+        self._cwnd.pop(dst, None)
+        self._ssthresh.pop(dst, None)

@@ -242,6 +242,33 @@ VOCABULARY: Tuple[KeySpec, ...] = (
     _k("home.access_forwarded", "counter", "1",
        "Accesses forwarded to the object's new home."),
     _k("home.access_nacked", "counter", "1", "Accesses NACKed."),
+    # ---- discovery: shard.* (tracers `discovery.shard.<host>`,
+    #      `discovery.advertiser.<host>`, `discovery.lease`) ------------------
+    _k("shard.advertised", "counter", "1",
+       "Object advertisements accepted by this shard."),
+    _k("shard.resolved", "counter", "1",
+       "Resolve requests answered with a holder and lease."),
+    _k("shard.resolve_unknown", "counter", "1",
+       "Resolve requests for objects this shard has no entry for."),
+    _k("shard.invalidations", "counter", "1",
+       "Lease invalidations pushed after an owner change."),
+    _k("shard.failover", "counter", "1",
+       "Fallbacks to a successor shard (advertiser and resolver side)."),
+    # ---- discovery: lease.* (tracer `discovery.lease`) ----------------------
+    _k("lease.hit", "counter", "1",
+       "Accesses served from a live cached lease (1 RTT path)."),
+    _k("lease.miss", "counter", "1",
+       "Accesses that resolved via the owning shard (2 RTT path)."),
+    _k("lease.expired", "counter", "1", "Cached leases dropped on TTL expiry."),
+    _k("lease.stale", "counter", "1",
+       "Leased holders that NACKed (object moved before invalidation)."),
+    _k("lease.invalidated", "counter", "1",
+       "Cached leases dropped by a shard invalidation push."),
+    _k("lease.timeout", "counter", "1",
+       "Resolve or access exchanges that timed out."),
+    _k("lease.access_ok", "counter", "1", "Accesses that succeeded."),
+    _k("lease.access_failed", "counter", "1", "Accesses that failed."),
+    _k("lease.access_us", "series", "µs", "Per-access latency."),
 )
 
 

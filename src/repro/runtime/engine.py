@@ -18,7 +18,7 @@ Nothing in the caller's code names a host: Figure 1(3) falls out of
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..core.codeobj import FunctionRegistry, write_code_object
 from ..core.costmodel import CostModel, DEFAULT_COST_MODEL
@@ -181,6 +181,7 @@ class GlobalSpaceRuntime:
         self.nodes: Dict[str, ClusterNode] = {}
         self._base_profiles: Dict[str, NodeProfile] = {}
         self.locations: Dict[ObjectID, Set[str]] = {}
+        self._locator: Optional[Callable[[ObjectID, str], Optional[str]]] = None
         self._sizes: Dict[ObjectID, int] = {}
         self._invoke_ids = iter(range(1, 1 << 62))
 
@@ -244,8 +245,23 @@ class GlobalSpaceRuntime:
             raise RuntimeError_(f"object {oid.short()} unknown to the runtime")
         return set(holders)
 
+    def set_locator(self, locator: Optional[Callable[[ObjectID, str], Optional[str]]]) -> None:
+        """Install an optional ``(oid, to) -> holder`` location hint — e.g.
+        :meth:`LeaseCachingResolver.locator` from the sharded discovery
+        plane — consulted by :meth:`nearest_holder` before the hop-count
+        scan.  Pass ``None`` to remove it."""
+        self._locator = locator
+
     def nearest_holder(self, oid: ObjectID, to: str) -> str:
-        """Closest replica holder to ``to`` by hop count."""
+        """Closest replica holder to ``to`` by hop count.
+
+        A hint from an installed locator wins if it names a live replica;
+        a stale or unknown hint falls back to the scan (hints are an
+        optimisation, never a correctness input)."""
+        if self._locator is not None:
+            hint = self._locator(oid, to)
+            if hint is not None and hint in (self.locations.get(oid) or ()):
+                return hint
         return min(self.holders(oid),
                    key=lambda h: self.network.hop_distance(h, to))
 

@@ -324,3 +324,48 @@ class TestWorkloadSweeps:
             run_fig2_point(SCHEME_E2E, 101)
         with pytest.raises(ValueError):
             run_fig3_point(-1)
+
+
+class TestE2ERetryAccounting:
+    """Regression: timed-out attempts are full wire exchanges and must
+    each count toward ``round_trips`` (pre-fix, the caller counted one
+    per call site no matter how many resends happened)."""
+
+    def test_round_trips_counted_per_attempt(self):
+        sim = Simulator(seed=31)
+        net = build_paper_topology(sim)
+        allocator = IDAllocator(seed=32)
+        home = ObjectHome(net.host("resp1"),
+                          ObjectSpace(allocator, host_name="resp1"))
+        resolver = E2EResolver(net.host("driver"), timeout_us=1_000.0,
+                               max_retries=3)
+        obj = home.space.create_object(size=256)
+        # The responder is down for the first two find attempts and back
+        # up for the third (attempts go out at t=0, 1000, 2000).
+        net.host("resp1").fail()
+        sim.schedule(1_900.0, net.host("resp1").recover)
+
+        def proc():
+            record = yield sim.spawn(resolver.access(obj.oid))
+            return record
+
+        record = sim.run_process(proc())
+        assert record.ok
+        assert record.broadcasts == 3  # every find attempt hit the wire
+        # 2 timed-out finds + the answered find + the unicast access.
+        assert record.round_trips == 4
+        assert resolver.tracer.counters["e2e.timeout"] == 2
+
+    def test_single_attempt_accounting_unchanged(self):
+        # The fix must not inflate the no-loss path: first access is
+        # still find (1) + access (1).
+        sim, net, homes, resolver = _e2e_bed(seed=33)
+        obj = homes["resp1"].space.create_object(size=256)
+
+        def proc():
+            record = yield sim.spawn(resolver.access(obj.oid))
+            return record
+
+        record = sim.run_process(proc())
+        assert record.ok
+        assert record.round_trips == 2

@@ -490,3 +490,92 @@ class TestSeedSweep:
         # Byte-level determinism of the fault path: identical outcomes,
         # counters, and simulated clock across two fresh runs.
         assert _faulted_run(_seed(base_seed)) == _faulted_run(_seed(base_seed))
+
+
+# ---------------------------------------------------------------------------
+# coherence writebacks racing crash windows
+# ---------------------------------------------------------------------------
+
+
+class TestCoherenceCrashRaces:
+    """A dirty writeback racing a crash window.
+
+    Coherence messages ride raw (unreliable) packets, so the pinned
+    semantics are: a release that is already on the wire when its
+    *sender* crashes still lands durably at the home (in-flight packets
+    survive; only the returning ack dies at the crashed host's ingress),
+    while a release arriving at a crashed *home* is simply dropped and
+    the home keeps its pre-writeback bytes.  In both races the writeback
+    process itself never completes inside the window — the invariant is
+    about the home's durable state, not the writer's progress.
+    """
+
+    def _cluster(self, seed):
+        from repro.core import IDAllocator
+        from repro.memproto import CoherenceAgent
+        from repro.net import build_star
+
+        sim = Simulator(seed=seed)
+        net = build_star(sim, 3)
+        home_map = {}
+        agents = {f"h{i}": CoherenceAgent(net.host(f"h{i}"), home_map)
+                  for i in range(3)}
+        oid = IDAllocator(seed=seed).allocate()
+        agents["h0"].host_object(oid, b"0" * 64)
+        return sim, net, agents, oid
+
+    def _race(self, seed, crash_host, from_us, until_us):
+        sim, net, agents, oid = self._cluster(seed)
+        FaultInjector(net, FaultPlan().crash_window(
+            crash_host, from_us, until_us)).arm()
+        finished = []
+
+        def writeback():
+            yield from agents["h1"].writeback(oid)
+            finished.append(True)
+            return None
+
+        def driver():
+            # The dirty write completes at ~21us (well before any crash).
+            yield from agents["h1"].write(oid, 0, b"DIRTY")
+            sim.spawn(writeback(), name="writeback")
+            yield Timeout(2_000.0)
+            return None
+
+        sim.run_process(driver())
+        return agents, oid, bool(finished)
+
+    def test_holder_crash_after_release_sent_still_lands_at_home(self):
+        # h1 crashes at t=25us: after the release left for the home,
+        # before the ack could return.  The home must be durably updated.
+        agents, oid, finished = self._race(_seed(41), "h1", 25.0, 400.0)
+        assert agents["h0"].authoritative_data(oid)[:5] == b"DIRTY"
+        assert not finished  # the ack died at the crashed holder
+
+    def test_home_crash_window_drops_the_release(self):
+        # h0 (the home) is down when the release arrives: the writeback
+        # is lost and the home keeps its pre-writeback bytes.
+        agents, oid, finished = self._race(_seed(42), "h0", 25.0, 100_000.0)
+        assert agents["h0"].authoritative_data(oid)[:5] == b"00000"
+        assert not finished
+
+    def test_no_crash_baseline_writeback_lands(self):
+        # Sanity for the race geometry: without a fault the same script
+        # finishes and updates the home.
+        sim, net, agents, oid = self._cluster(_seed(43))
+        finished = []
+
+        def writeback():
+            yield from agents["h1"].writeback(oid)
+            finished.append(True)
+            return None
+
+        def driver():
+            yield from agents["h1"].write(oid, 0, b"DIRTY")
+            sim.spawn(writeback(), name="writeback")
+            yield Timeout(2_000.0)
+            return None
+
+        sim.run_process(driver())
+        assert agents["h0"].authoritative_data(oid)[:5] == b"DIRTY"
+        assert finished

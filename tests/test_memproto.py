@@ -330,3 +330,115 @@ class TestCoherence:
                 return "raised"
 
         assert sim.run_process(proc()) == "raised"
+
+
+class TestTransportDeadPeer:
+    """Regression tests: abandoned handshakes and dead peers must not
+    strand transport state (the uncapped-retransmission bugs)."""
+
+    def test_abandoned_handshake_resets_state_and_recovers(self):
+        # Pre-fix, _connected["h1"] stayed False after abandonment, so
+        # every later send queued into the backlog forever.
+        sim, tx, rx = _pair(seed=20, transport_cls=TcpLikeTransport)
+        got = []
+        rx.on_deliver(lambda src, payload, size: got.append(payload["i"]))
+        rx.host.fail()
+
+        def proc():
+            tx.send("h1", {"i": 0}, 64)
+            # MAX_SYN_RETRIES at rto=200us exhausts well inside 10ms.
+            yield Timeout(10_000.0)
+            assert tx.tracer.counters["transport.handshake_abandoned"] == 1
+            assert "h1" not in tx._connected  # back to "unknown"
+            rx.host.recover()
+            tx.send("h1", {"i": 1}, 64)  # restarts the handshake
+            yield Timeout(10_000.0)
+            return None
+
+        sim.run_process(proc())
+        assert got == [0, 1]  # the abandoned-era backlog flowed too
+        assert tx.tracer.counters["transport.handshake"] == 2
+
+    def test_retransmit_budget_declares_peer_dead(self):
+        from repro.faults import FaultInjector, FaultPlan
+        from repro.net import build_star as _build_star
+
+        sim = Simulator(seed=21)
+        net = _build_star(sim, 2)
+        tx = LightweightTransport(net.host("h0"), max_retransmits=5)
+        rx = LightweightTransport(net.host("h1"), max_retransmits=5)
+        got = []
+        rx.on_deliver(lambda src, payload, size: got.append(payload["i"]))
+        FaultInjector(net, FaultPlan().crash_window("h1", 50.0, 20_000.0)).arm()
+
+        def proc():
+            yield Timeout(100.0)  # h1 is inside its crash window now
+            tx.send("h1", {"i": 0}, 64)
+            tx.send("h1", {"i": 1}, 64)
+            # 5 retransmits at rto=200us burn out well inside 10ms.
+            yield Timeout(10_000.0)
+            assert tx.tracer.counters["transport.peer_dead"] == 1
+            assert tx.inflight_count("h1") == 0  # state dropped, heap quiet
+            assert tx.backlog_count("h1") == 0
+            yield Timeout(15_000.0)  # h1 recovers at t=20ms
+            tx.send("h1", {"i": 2}, 64)
+            yield Timeout(5_000.0)
+            return None
+
+        sim.run_process(proc())
+        assert got == [2]
+        assert tx.tracer.counters["transport.retransmit"] == 10  # 2 pkts x 5
+
+    def test_peer_dead_epoch_resyncs_receiver(self):
+        # After a dead-peer declaration the sender restarts at seq 0; the
+        # epoch stamp keeps a recovered receiver (expected_seq > 0) from
+        # reading the restart as ancient duplicates.
+        sim, tx, rx = _pair(seed=22, max_retransmits=3)
+        got = []
+        rx.on_deliver(lambda src, payload, size: got.append(payload["i"]))
+
+        def proc():
+            for i in range(5):
+                tx.send("h1", {"i": i}, 64)
+            yield Timeout(5_000.0)  # all delivered; rx expects seq 5
+            rx.host.fail()
+            tx.send("h1", {"i": 98}, 64)  # lost to the crash
+            yield Timeout(5_000.0)  # budget exhausted -> peer dead
+            assert tx.tracer.counters["transport.peer_dead"] == 1
+            rx.host.recover()
+            tx.send("h1", {"i": 99}, 64)  # fresh epoch, seq restarts at 0
+            yield Timeout(5_000.0)
+            return None
+
+        sim.run_process(proc())
+        assert got == [0, 1, 2, 3, 4, 99]
+        assert rx.tracer.counters["transport.delivered"] == 6
+
+    def test_tcp_peer_dead_rehandshakes(self):
+        sim, tx, rx = _pair(seed=23, transport_cls=TcpLikeTransport,
+                            max_retransmits=4)
+        got = []
+        rx.on_deliver(lambda src, payload, size: got.append(payload["i"]))
+
+        def proc():
+            tx.send("h1", {"i": 0}, 64)
+            yield Timeout(5_000.0)  # handshake + delivery complete
+            rx.host.fail()
+            tx.send("h1", {"i": 1}, 64)
+            yield Timeout(10_000.0)  # budget exhausted -> connection dropped
+            assert tx.tracer.counters["transport.peer_dead"] == 1
+            assert "h1" not in tx._connected
+            rx.host.recover()
+            tx.send("h1", {"i": 2}, 64)
+            yield Timeout(10_000.0)
+            return None
+
+        sim.run_process(proc())
+        assert got == [0, 2]
+        assert tx.tracer.counters["transport.handshake"] == 2
+
+    def test_retransmit_budget_validation(self):
+        sim = Simulator(seed=24)
+        net = build_star(sim, 1)
+        with pytest.raises(TransportError):
+            LightweightTransport(net.host("h0"), max_retransmits=0)
