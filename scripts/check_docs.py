@@ -66,6 +66,8 @@ INSTRUMENTED = (
     "discovery/hybrid.py",
     "discovery/controller.py",
     "discovery/sharded.py",
+    "memproto/transport.py",
+    "memproto/coherence.py",
 )
 
 # Keys emitted through a named constant rather than a string literal.

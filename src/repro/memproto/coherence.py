@@ -14,25 +14,38 @@ object granularity:
 
 The protocol rides on raw host-addressed packets (it provides its own
 request/ack matching), so it can be layered over either transport.
+
+The data plane is **batched at the packet boundary**: acquisitions for
+many objects travel in one acquire packet (:meth:`CoherenceAgent.read_many`
+for sequential-scan readers), the home coalesces grants completing at the
+same instant into one multi-oid grant reply, and the probe/invalidate
+fan-out of concurrent transactions coalesces per target into one
+multi-entry probe round (answered by one batched ack, dirty writebacks
+piggybacked per entry).
 """
 
 from __future__ import annotations
 
 import itertools
 from collections import deque
-from typing import Any, Dict, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..core.objectid import ObjectID
-from ..sim import Future, Simulator, Tracer
+from ..sim import Future, ScheduledEvent, Simulator, Tracer
 from ..net.host import Host
 from ..net.packet import Packet
 from .messages import (
+    COHERENCE_ENTRY_BYTES,
     MSG_ACQUIRE,
     MSG_GRANT,
     MSG_PROBE_ACK,
     MSG_PROBE_INVALIDATE,
     MSG_RELEASE,
     MSG_RELEASE_ACK,
+    acquire_packet,
+    grant_packet,
+    probe_ack_packet,
+    probe_packet,
 )
 
 __all__ = ["CoherenceAgent", "CoherenceError", "PERM_SHARED", "PERM_MODIFIED"]
@@ -68,7 +81,21 @@ class _DirectoryEntry:
         self.sharers: Set[str] = set()
         self.owner: Optional[str] = None  # holder of the Modified copy
         self.busy = False                 # a transaction is in flight
-        self.pending: deque = deque()     # queued (packet) acquisitions
+        self.pending: deque = deque()     # queued _Txn acquisitions
+
+
+class _Txn:
+    """One admitted acquisition the home is processing."""
+
+    __slots__ = ("requester", "req_id", "perm", "upgrade", "home_local")
+
+    def __init__(self, requester: str, req_id: int, perm: str,
+                 upgrade: bool = False, home_local: bool = False):
+        self.requester = requester
+        self.req_id = req_id
+        self.perm = perm
+        self.upgrade = upgrade
+        self.home_local = home_local
 
 
 class CoherenceAgent:
@@ -78,6 +105,7 @@ class CoherenceAgent:
 
         data = yield agent.read(oid, offset, length)
         yield agent.write(oid, offset, payload)
+        chunks = yield agent.read_many(oids, offset, length)  # batched scan
 
     Reads acquire Shared permission; writes acquire Modified permission,
     invalidating every other copy first.  Repeated accesses hit the local
@@ -100,8 +128,15 @@ class CoherenceAgent:
         host.on(MSG_PROBE_ACK, self._on_probe_ack)
         host.on(MSG_RELEASE, self._on_release)
         host.on(MSG_RELEASE_ACK, self._on_release_ack)
-        # Home-side per-transaction scratch: req key -> collection state.
-        self._collect: Dict[Tuple[str, int], Dict[str, Any]] = {}
+        # Home-side per-transaction scratch: (oid, req key) -> collection state.
+        self._collect: Dict[Tuple[ObjectID, Tuple[str, int]], Dict[str, Any]] = {}
+        # Same-instant coalescing buffers: probes per target, grants per
+        # requester.  Flushed by a zero-delay event, so everything a
+        # single arrival fans out to shares one wire packet per peer.
+        self._probe_out: Dict[str, List[Dict[str, Any]]] = {}
+        self._probe_flush: Dict[str, ScheduledEvent] = {}
+        self._grant_out: Dict[str, List[Dict[str, Any]]] = {}
+        self._grant_flush: Dict[str, ScheduledEvent] = {}
 
     # -- object registration --------------------------------------------------
     def host_object(self, oid: ObjectID, data: bytes) -> None:
@@ -117,12 +152,36 @@ class CoherenceAgent:
             raise CoherenceError(f"no home known for object {oid.short()}")
         return home
 
+    def _home_directory(self, oid: ObjectID) -> _DirectoryEntry:
+        """The local directory entry for ``oid``, or a clean fault.
+
+        The home map can claim this host is home for an object that was
+        never hosted here (stale map, typo'd registration); that must
+        surface as a protocol error, not a raw ``KeyError``."""
+        directory = self._directory.get(oid)
+        if directory is None:
+            raise CoherenceError(f"{self.host.name} is not home of {oid.short()}")
+        return directory
+
+    @staticmethod
+    def _check_range(oid: ObjectID, size: int, offset: int, length: int) -> None:
+        """Fault accesses outside the object's backing bytes.
+
+        Slice assignment past the end of a ``bytearray`` silently grows
+        it, so an unchecked store would resize the object instead of
+        faulting like real memory."""
+        if offset < 0 or length < 0 or offset + length > size:
+            raise CoherenceError(
+                f"range [{offset}:{offset + length}) out of bounds for "
+                f"{oid.short()} ({size} bytes)")
+
     # -- public operations (generator processes) -------------------------------
     def read(self, oid: ObjectID, offset: int, length: int):
         """Process: acquire Shared (if needed) and return the bytes."""
         entry = self._cache.get(oid)
         if entry is None and self._home_of(oid) == self.host.name:
-            directory = self._directory[oid]
+            directory = self._home_directory(oid)
+            self._check_range(oid, len(directory.data), offset, length)
             if directory.owner is not None:
                 # A remote Modified copy exists: recall it before reading.
                 yield from self._home_local_barrier(oid, PERM_SHARED)
@@ -130,10 +189,48 @@ class CoherenceAgent:
             return bytes(directory.data[offset : offset + length])
         if entry is not None:
             self.tracer.count("coherence.cache_hit")
+            self._check_range(oid, len(entry.data), offset, length)
             return bytes(entry.data[offset : offset + length])
         self.tracer.count("coherence.read_miss")
         entry = yield from self._acquire(oid, PERM_SHARED)
+        self._check_range(oid, len(entry.data), offset, length)
         return bytes(entry.data[offset : offset + length])
+
+    def read_many(self, oids: Iterable[ObjectID], offset: int, length: int):
+        """Process: read the same range of many objects, batching the
+        acquisitions per home into single multi-oid packets.
+
+        A sequential-scan reader over N uncached, conflict-free objects
+        with one home costs one acquire packet and one grant packet,
+        instead of N of each."""
+        oids = list(oids)
+        results: Dict[int, bytes] = {}
+        by_home: Dict[str, List[Tuple[int, ObjectID, int, Future]]] = {}
+        for index, oid in enumerate(oids):
+            entry = self._cache.get(oid)
+            if entry is not None or self._home_of(oid) == self.host.name:
+                # Cached or home-resident: the single-object path already
+                # serves these without network traffic.
+                results[index] = yield from self.read(oid, offset, length)
+                continue
+            self.tracer.count("coherence.read_miss")
+            req_id = next(_req_ids)
+            future = Future(self.sim, name=f"scan-{req_id}")
+            self._pending[req_id] = future
+            by_home.setdefault(self._home_of(oid), []).append(
+                (index, oid, req_id, future))
+        for home, wanted in by_home.items():
+            reqs = [{"oid": oid, "req_id": req_id}
+                    for _, oid, req_id, _ in wanted]
+            self._send_acquire(home, PERM_SHARED, reqs)
+        for home, wanted in by_home.items():
+            for index, oid, _, future in wanted:
+                granted = yield future
+                entry = _CacheEntry(bytearray(granted["data"]), PERM_SHARED)
+                self._cache[oid] = entry
+                self._check_range(oid, len(entry.data), offset, length)
+                results[index] = bytes(entry.data[offset : offset + length])
+        return [results[i] for i in range(len(oids))]
 
     def write(self, oid: ObjectID, offset: int, data: bytes):
         """Process: acquire Modified (if needed) and apply the store."""
@@ -149,14 +246,16 @@ class CoherenceAgent:
             entry = yield from self._upgrade(oid)
         elif home == self.host.name:
             # Home writes still invalidate remote copies first.
+            directory = self._home_directory(oid)
+            self._check_range(oid, len(directory.data), offset, len(data))
             yield from self._home_local_barrier(oid, PERM_MODIFIED)
-            directory = self._directory[oid]
             directory.data[offset : offset + len(data)] = data
             self.tracer.count("coherence.home_write")
             return
         else:
             self.tracer.count("coherence.write_miss")
             entry = yield from self._acquire(oid, PERM_MODIFIED)
+        self._check_range(oid, len(entry.data), offset, len(data))
         entry.data[offset : offset + len(data)] = data
         entry.dirty = True
 
@@ -169,7 +268,7 @@ class CoherenceAgent:
         future = Future(self.sim, name=f"release-{req_id}")
         self._pending[req_id] = future
         payload: Dict[str, Any] = {"req_id": req_id, "perm": entry.perm}
-        payload_bytes = 16
+        payload_bytes = COHERENCE_ENTRY_BYTES
         if entry.dirty:
             payload["data"] = bytes(entry.data)
             payload_bytes += len(entry.data)
@@ -193,14 +292,19 @@ class CoherenceAgent:
         return bytes(directory.data)
 
     # -- requester side -----------------------------------------------------
+    def _send_acquire(self, home: str, perm: str,
+                      reqs: List[Dict[str, Any]]) -> None:
+        self.tracer.count("coherence.batch.acquire_pkts")
+        if len(reqs) > 1:
+            self.tracer.count("coherence.batch.multi_acquire")
+        self.host.send(acquire_packet(self.host.name, home, perm, reqs))
+
     def _acquire(self, oid: ObjectID, perm: str):
         req_id = next(_req_ids)
         future = Future(self.sim, name=f"acquire-{req_id}")
         self._pending[req_id] = future
-        self.host.send(Packet(
-            kind=MSG_ACQUIRE, src=self.host.name, dst=self._home_of(oid),
-            oid=oid, payload={"req_id": req_id, "perm": perm}, payload_bytes=16,
-        ))
+        self._send_acquire(self._home_of(oid), perm,
+                           [{"oid": oid, "req_id": req_id}])
         granted = yield future
         entry = _CacheEntry(bytearray(granted["data"]), perm)
         self._cache[oid] = entry
@@ -212,12 +316,8 @@ class CoherenceAgent:
         req_id = next(_req_ids)
         future = Future(self.sim, name=f"upgrade-{req_id}")
         self._pending[req_id] = future
-        self.host.send(Packet(
-            kind=MSG_ACQUIRE, src=self.host.name, dst=self._home_of(oid),
-            oid=oid,
-            payload={"req_id": req_id, "perm": PERM_MODIFIED, "upgrade": True},
-            payload_bytes=16,
-        ))
+        self._send_acquire(self._home_of(oid), PERM_MODIFIED,
+                           [{"oid": oid, "req_id": req_id, "upgrade": True}])
         granted = yield future
         entry = self._cache.get(oid)
         if granted.get("data") is not None or entry is None:
@@ -236,30 +336,25 @@ class CoherenceAgent:
         discipline in one place.  ``perm=S`` recalls an exclusive owner;
         ``perm=M`` also invalidates every sharer.
         """
-        directory = self._directory[oid]
+        directory = self._home_directory(oid)
         if not directory.sharers and directory.owner is None:
             return
         req_id = next(_req_ids)
         future = Future(self.sim, name=f"homebarrier-{req_id}")
         self._pending[req_id] = future
-        # Loop the request through our own handler as a local packet.
-        packet = Packet(
-            kind=MSG_ACQUIRE, src=self.host.name, dst=self.host.name,
-            oid=oid, payload={"req_id": req_id, "perm": perm,
-                              "home_local": True},
-            payload_bytes=0,
-        )
-        self._on_acquire(packet)
+        txn = _Txn(self.host.name, req_id, perm, home_local=True)
+        self._admit(oid, directory, txn)
         yield future
         # The grant for a home-local barrier carries no data we need.
         self._cache.pop(oid, None)
 
     def _on_grant(self, packet: Packet) -> None:
-        future = self._pending.pop(packet.payload["req_id"], None)
-        if future is None:
-            self.tracer.count("coherence.orphan_grant")
-            return
-        future.set_result(packet.payload)
+        for entry in packet.payload["grants"]:
+            future = self._pending.pop(entry["req_id"], None)
+            if future is None:
+                self.tracer.count("coherence.orphan_grant")
+                continue
+            future.set_result(entry)
 
     def _on_release_ack(self, packet: Packet) -> None:
         future = self._pending.pop(packet.payload["req_id"], None)
@@ -268,22 +363,29 @@ class CoherenceAgent:
 
     # -- home / directory side ------------------------------------------------
     def _on_acquire(self, packet: Packet) -> None:
-        oid = packet.oid
-        assert oid is not None
-        directory = self._directory.get(oid)
-        if directory is None:
-            self.tracer.count("coherence.bad_home")
-            return
+        perm = packet.payload["perm"]
+        for req in packet.payload["reqs"]:
+            oid = req["oid"]
+            directory = self._directory.get(oid)
+            if directory is None:
+                self.tracer.count("coherence.bad_home")
+                continue
+            txn = _Txn(packet.src, req["req_id"], perm,
+                       upgrade=bool(req.get("upgrade")))
+            self._admit(oid, directory, txn)
+
+    def _admit(self, oid: ObjectID, directory: _DirectoryEntry,
+               txn: _Txn) -> None:
         if directory.busy:
-            directory.pending.append(packet)
+            directory.pending.append(txn)
             return
         directory.busy = True
-        self._start_transaction(oid, directory, packet)
+        self._start_transaction(oid, directory, txn)
 
     def _start_transaction(self, oid: ObjectID, directory: _DirectoryEntry,
-                           packet: Packet) -> None:
-        requester = packet.src
-        perm = packet.payload["perm"]
+                           txn: _Txn) -> None:
+        requester = txn.requester
+        perm = txn.perm
         # Who must be probed before this grant is legal?
         to_probe: Set[str] = set()
         if perm == PERM_MODIFIED:
@@ -294,79 +396,89 @@ class CoherenceAgent:
             if directory.owner and directory.owner != requester:
                 to_probe.add(directory.owner)
         if not to_probe:
-            self._grant(oid, directory, packet)
+            self._grant(oid, directory, txn)
             return
         # A Shared acquisition only needs the exclusive owner *downgraded*
         # to Shared (with writeback); Modified needs everyone at Invalid.
         downgrade_to = PERM_SHARED if perm == PERM_SHARED else "I"
-        key = (requester, packet.payload["req_id"])
-        self._collect[key] = {"packet": packet, "waiting": set(to_probe),
-                              "downgrade_to": downgrade_to}
-        for target in to_probe:
+        key = (requester, txn.req_id)
+        self._collect[(oid, key)] = {"txn": txn, "waiting": set(to_probe),
+                                     "downgrade_to": downgrade_to}
+        for target in sorted(to_probe):
             self.tracer.count("coherence.probe")
-            self.host.send(Packet(
-                kind=MSG_PROBE_INVALIDATE, src=self.host.name, dst=target,
-                oid=oid,
-                payload={"req_key": list(key), "downgrade_to": downgrade_to},
-                payload_bytes=16,
-            ))
+            self._queue_probe(target, {"oid": oid, "req_key": list(key),
+                                       "downgrade_to": downgrade_to})
+
+    # -- probe fan-out batching ----------------------------------------------
+    def _queue_probe(self, target: str, probe: Dict[str, Any]) -> None:
+        self._probe_out.setdefault(target, []).append(probe)
+        if target not in self._probe_flush:
+            self._probe_flush[target] = self.sim.schedule(
+                0.0, self._flush_probes, target)
+
+    def _flush_probes(self, target: str) -> None:
+        self._probe_flush.pop(target, None)
+        probes = self._probe_out.pop(target, None)
+        if not probes:
+            return
+        self.tracer.count("coherence.batch.probe_pkts")
+        if len(probes) > 1:
+            self.tracer.count("coherence.batch.multi_probe")
+        self.host.send(probe_packet(self.host.name, target, probes))
 
     def _on_probe(self, packet: Packet) -> None:
-        oid = packet.oid
-        assert oid is not None
-        downgrade_to = packet.payload.get("downgrade_to", "I")
-        entry = self._cache.get(oid)
-        payload: Dict[str, Any] = {"req_key": packet.payload["req_key"]}
-        payload_bytes = 16
-        if entry is not None and entry.dirty:
-            payload["data"] = bytes(entry.data)
-            payload_bytes += len(entry.data)
-        if downgrade_to == PERM_SHARED and entry is not None:
-            # M -> S: keep the (now clean) copy for future local reads.
-            entry.perm = PERM_SHARED
-            entry.dirty = False
-            payload["kept_shared"] = True
-            self.tracer.count("coherence.downgraded")
-        else:
-            self._cache.pop(oid, None)
-            self.tracer.count("coherence.invalidated")
-        self.host.send(Packet(
-            kind=MSG_PROBE_ACK, src=self.host.name, dst=packet.src,
-            oid=oid, payload=payload, payload_bytes=payload_bytes,
-        ))
+        acks: List[Dict[str, Any]] = []
+        for probe in packet.payload["probes"]:
+            oid = probe["oid"]
+            downgrade_to = probe.get("downgrade_to", "I")
+            entry = self._cache.get(oid)
+            ack: Dict[str, Any] = {"oid": oid, "req_key": probe["req_key"]}
+            if entry is not None and entry.dirty:
+                ack["data"] = bytes(entry.data)
+            if downgrade_to == PERM_SHARED and entry is not None:
+                # M -> S: keep the (now clean) copy for future local reads.
+                entry.perm = PERM_SHARED
+                entry.dirty = False
+                ack["kept_shared"] = True
+                self.tracer.count("coherence.downgraded")
+            else:
+                self._cache.pop(oid, None)
+                self.tracer.count("coherence.invalidated")
+            acks.append(ack)
+        self.host.send(probe_ack_packet(self.host.name, packet.src, acks))
 
     def _on_probe_ack(self, packet: Packet) -> None:
-        oid = packet.oid
-        assert oid is not None
-        key = tuple(packet.payload["req_key"])
-        state = self._collect.get(key)
-        if state is None:
-            self.tracer.count("coherence.orphan_probe_ack")
-            return
-        directory = self._directory[oid]
-        if "data" in packet.payload:  # dirty writeback piggybacked on the ack
-            directory.data[:] = packet.payload["data"]
-        if packet.payload.get("kept_shared"):
-            # The owner downgraded M -> S: it stays a sharer.
-            directory.sharers.add(packet.src)
-        else:
-            directory.sharers.discard(packet.src)
-        if directory.owner == packet.src:
-            directory.owner = None
-        state["waiting"].discard(packet.src)
-        if not state["waiting"]:
-            del self._collect[key]
-            self._grant(oid, directory, state["packet"])
+        for ack in packet.payload["acks"]:
+            oid = ack["oid"]
+            key = tuple(ack["req_key"])
+            state = self._collect.get((oid, key))
+            if state is None:
+                self.tracer.count("coherence.orphan_probe_ack")
+                continue
+            directory = self._directory[oid]
+            if "data" in ack:  # dirty writeback piggybacked on the ack
+                directory.data[:] = ack["data"]
+            if ack.get("kept_shared"):
+                # The owner downgraded M -> S: it stays a sharer.
+                directory.sharers.add(packet.src)
+            else:
+                directory.sharers.discard(packet.src)
+            if directory.owner == packet.src:
+                directory.owner = None
+            state["waiting"].discard(packet.src)
+            if not state["waiting"]:
+                del self._collect[(oid, key)]
+                self._grant(oid, directory, state["txn"])
 
+    # -- grant coalescing -----------------------------------------------------
     def _grant(self, oid: ObjectID, directory: _DirectoryEntry,
-               packet: Packet) -> None:
-        requester = packet.src
-        perm = packet.payload["perm"]
+               txn: _Txn) -> None:
+        requester = txn.requester
+        perm = txn.perm
         # An upgrade grant omits the data while the requester still holds
         # a valid shared copy; if an earlier transaction invalidated it,
         # ship fresh data (checked before we mutate the sharer set).
-        upgrade_without_data = (packet.payload.get("upgrade")
-                                and requester in directory.sharers)
+        upgrade_without_data = txn.upgrade and requester in directory.sharers
         if perm == PERM_MODIFIED:
             directory.sharers.discard(requester)
             directory.owner = requester
@@ -375,31 +487,47 @@ class CoherenceAgent:
         self.tracer.count("coherence.grant")
         if upgrade_without_data:
             self.tracer.count("coherence.upgrade_ack")
-        grant_payload = {
-            "req_id": packet.payload["req_id"],
+        entry = {
+            "req_id": txn.req_id,
+            "oid": oid,
             "perm": perm,
             "data": None if upgrade_without_data else bytes(directory.data),
         }
-        if packet.payload.get("home_local"):
+        if txn.home_local:
             # Local barrier: complete without touching the network.
             directory.owner = None
             directory.sharers.discard(self.host.name)
-            future = self._pending.pop(packet.payload["req_id"], None)
+            future = self._pending.pop(txn.req_id, None)
             if future is not None:
-                future.set_result(grant_payload)
+                future.set_result(entry)
             self._finish_transaction(oid, directory)
             return
-        data_bytes = 0 if upgrade_without_data else len(directory.data)
-        self.host.send(Packet(
-            kind=MSG_GRANT, src=self.host.name, dst=requester, oid=oid,
-            payload=grant_payload, payload_bytes=16 + data_bytes,
-        ))
+        self._queue_grant(requester, entry)
         self._finish_transaction(oid, directory)
+
+    def _queue_grant(self, requester: str, entry: Dict[str, Any]) -> None:
+        """Coalesce grants completing at the same instant toward the
+        same requester into one multi-oid grant packet (the sequential
+        scan's reply-side half)."""
+        self._grant_out.setdefault(requester, []).append(entry)
+        if requester not in self._grant_flush:
+            self._grant_flush[requester] = self.sim.schedule(
+                0.0, self._flush_grants, requester)
+
+    def _flush_grants(self, requester: str) -> None:
+        self._grant_flush.pop(requester, None)
+        grants = self._grant_out.pop(requester, None)
+        if not grants:
+            return
+        self.tracer.count("coherence.batch.grant_pkts")
+        if len(grants) > 1:
+            self.tracer.count("coherence.batch.multi_grant")
+        self.host.send(grant_packet(self.host.name, requester, grants))
 
     def _finish_transaction(self, oid: ObjectID, directory: _DirectoryEntry) -> None:
         if directory.pending:
-            next_packet = directory.pending.popleft()
-            self._start_transaction(oid, directory, next_packet)
+            next_txn = directory.pending.popleft()
+            self._start_transaction(oid, directory, next_txn)
         else:
             directory.busy = False
 
@@ -417,5 +545,6 @@ class CoherenceAgent:
             directory.owner = None
         self.host.send(Packet(
             kind=MSG_RELEASE_ACK, src=self.host.name, dst=packet.src, oid=oid,
-            payload={"req_id": packet.payload["req_id"]}, payload_bytes=16,
+            payload={"req_id": packet.payload["req_id"]},
+            payload_bytes=COHERENCE_ENTRY_BYTES,
         ))

@@ -14,13 +14,14 @@ discovery has resolved a location.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, List, Optional
 
 from ..core.objectid import ObjectID
 from ..net.packet import Packet
 
 __all__ = [
     "CACHE_LINE_BYTES",
+    "COHERENCE_ENTRY_BYTES",
     "MSG_READ_REQ",
     "MSG_READ_RSP",
     "MSG_WRITE_REQ",
@@ -37,6 +38,10 @@ __all__ = [
     "read_response",
     "write_request",
     "write_ack",
+    "acquire_packet",
+    "grant_packet",
+    "probe_packet",
+    "probe_ack_packet",
 ]
 
 CACHE_LINE_BYTES = 64
@@ -60,6 +65,12 @@ MSG_UPGRADE_ACK = "coh.upgrade_ack"
 # Modelled payload byte counts for the non-data fields of each message.
 _ADDR_BYTES = 8  # 48-bit offset + op metadata; the 16B oid rides the oid field
 _REQID_BYTES = 8
+
+#: Modelled bytes for one coherence entry inside a batched packet: the
+#: 16B object ID plus request id / permission / flag metadata.  Batched
+#: acquire/grant/probe packets charge this per entry (plus any data), so
+#: an N-entry packet costs one wire header instead of N.
+COHERENCE_ENTRY_BYTES = 16
 
 
 def read_request(src: str, oid: ObjectID, offset: int, length: int,
@@ -108,4 +119,68 @@ def write_ack(request: Packet, responder: str) -> Packet:
         dst=request.src,
         payload={"req_id": request.payload["req_id"]},
         payload_bytes=_REQID_BYTES,
+    )
+
+
+# -- batched coherence packets ------------------------------------------------
+#
+# The coherence data plane batches at the packet boundary: one acquire
+# packet can request many objects (a sequential-scan reader), one grant
+# packet can answer many requests, and one probe packet can carry the
+# whole invalidation fan-in for a target.  Every entry is a plain dict so
+# handlers iterate without a second vocabulary.
+
+
+def acquire_packet(src: str, home: str, perm: str,
+                   reqs: List[Dict[str, Any]]) -> Packet:
+    """Request cached copies of every ``{"oid", "req_id"[, "upgrade"]}``
+    entry in ``reqs`` with permission ``perm`` from ``home``."""
+    return Packet(
+        kind=MSG_ACQUIRE,
+        src=src,
+        dst=home,
+        payload={"perm": perm, "reqs": reqs},
+        payload_bytes=COHERENCE_ENTRY_BYTES * len(reqs),
+    )
+
+
+def grant_packet(responder: str, requester: str,
+                 grants: List[Dict[str, Any]]) -> Packet:
+    """Answer one or more acquisitions; each ``{"req_id", "oid", "perm",
+    "data"}`` entry charges its data bytes (``data=None`` for an upgrade
+    grant that moves no data)."""
+    data_bytes = sum(len(g["data"]) for g in grants if g.get("data") is not None)
+    return Packet(
+        kind=MSG_GRANT,
+        src=responder,
+        dst=requester,
+        payload={"grants": grants},
+        payload_bytes=COHERENCE_ENTRY_BYTES * len(grants) + data_bytes,
+    )
+
+
+def probe_packet(home: str, target: str,
+                 probes: List[Dict[str, Any]]) -> Packet:
+    """Tell ``target`` to downgrade/invalidate every ``{"oid",
+    "req_key", "downgrade_to"}`` entry in one wire packet."""
+    return Packet(
+        kind=MSG_PROBE_INVALIDATE,
+        src=home,
+        dst=target,
+        payload={"probes": probes},
+        payload_bytes=COHERENCE_ENTRY_BYTES * len(probes),
+    )
+
+
+def probe_ack_packet(target: str, home: str,
+                     acks: List[Dict[str, Any]]) -> Packet:
+    """Acknowledge a (batched) probe; entries may carry dirty writeback
+    data and the ``kept_shared`` downgrade marker."""
+    data_bytes = sum(len(a["data"]) for a in acks if a.get("data") is not None)
+    return Packet(
+        kind=MSG_PROBE_ACK,
+        src=target,
+        dst=home,
+        payload={"acks": acks},
+        payload_bytes=COHERENCE_ENTRY_BYTES * len(acks) + data_bytes,
     )

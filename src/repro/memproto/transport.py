@@ -8,7 +8,7 @@ transmission, separated from the other features provided by TCP."
 Two transports implement the comparison for experiment E9:
 
 * :class:`LightweightTransport` — the paper's proposal: per-peer
-  sequence numbers, a fixed send window, per-packet retransmit timers,
+  sequence numbers, a fixed send window, per-frame retransmit timers,
   receiver-side duplicate suppression.  No handshake, no slow start.
 * :class:`TcpLikeTransport` — the incumbent baseline: a 1-RTT handshake
   per peer, slow-start congestion window growth from 1 segment, and
@@ -16,23 +16,43 @@ Two transports implement the comparison for experiment E9:
 
 Both deliver each message exactly once, in order, to the registered
 upper-layer handler, and both record per-message delivery latency.
+
+The data plane is **frame-batched**: messages queued toward the same
+peer coalesce into a single MTU-bounded frame (one sequence number, one
+header, one ack) instead of each message riding its own wire packet.
+The flush deadline defaults to zero simulated time — everything sent at
+the same instant shares a frame, and a latency-sensitive single still
+departs at the instant it was sent.  Acks are **cumulative** (one ack
+covers every frame up to it) and **piggyback** on reverse-direction
+data frames; a delayed-ack timer is the fallback when no reverse data
+shows up, and every ``ack_every``-th pending frame forces one out so a
+one-way stream never stalls on the timer.
+
+Loss recovery keeps the batched window from degenerating into
+go-back-N: acks carry a bounded **selective-ack block** naming the
+frames buffered past a hole (their timers stop, the window reopens),
+duplicate acks trigger a **fast retransmit** of the hole itself after
+``dupack_threshold`` repeats, and NewReno-style partial acks repair the
+next hole per RTT while inside a loss window.  The RTO remains the
+backstop for tail losses and lost repairs.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Dict, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from ..sim import ScheduledEvent, Simulator, Tracer
-from ..net.host import Host
-from ..net.packet import Packet
+from ..net.host import MTU_BYTES, Host
+from ..net.packet import HEADER_BYTES, Packet
 
 __all__ = ["LightweightTransport", "TcpLikeTransport", "TransportError"]
 
 DeliveryHandler = Callable[[str, Dict[str, Any], int], None]
 # handler(src_host, payload, payload_bytes)
 
-_DATA_HEADER_BYTES = 12  # seq + flags
+_FRAME_HEADER_BYTES = 12  # seq + epoch + cumulative-ack field + flags
+_MSG_HEADER_BYTES = 2     # per-message length field inside a frame
 _ACK_BYTES = 12
 
 
@@ -48,8 +68,17 @@ class _PeerTx:
         self.epoch = 0
         self.inflight: Dict[int, Tuple[Packet, ScheduledEvent]] = {}
         self.backlog: Deque[Packet] = deque()
-        self.send_times: Dict[int, float] = {}
+        self.send_times: Dict[int, float] = {}   # seq -> first transmission
+        self.queued_at: Dict[int, float] = {}    # seq -> backlog entry time
         self.attempts: Dict[int, int] = {}
+        # Messages awaiting framing: (payload, payload_bytes) pairs plus
+        # the modelled bytes they will occupy inside a frame.
+        self.coalesce: List[Tuple[Dict[str, Any], int]] = []
+        self.coalesce_bytes = 0
+        self.flush_event: Optional[ScheduledEvent] = None
+        self.dup_acks = 0      # no-progress acks since the last cum advance
+        self.fast_done = -1    # last hole fast-retransmitted (once per hole)
+        self.recover = -1      # highest seq outstanding when loss was seen
 
 
 class _PeerRx:
@@ -59,6 +88,8 @@ class _PeerRx:
         self.expected_seq = 0
         self.epoch = 0
         self.out_of_order: Dict[int, Packet] = {}
+        self.ack_owed = 0  # frames heard since the last ack we emitted
+        self.ack_event: Optional[ScheduledEvent] = None
 
 
 class _TransportBase:
@@ -71,16 +102,48 @@ class _TransportBase:
         data_kind: str = "rt.data",
         ack_kind: str = "rt.ack",
         max_retransmits: int = 30,
+        flush_us: float = 0.0,
+        delayed_ack_us: float = 50.0,
+        ack_every: int = 2,
+        reorder_window: int = 256,
+        dupack_threshold: int = 2,
+        mtu_bytes: Optional[int] = None,
         tracer: Optional[Tracer] = None,
     ):
         if rto_us <= 0:
             raise TransportError("retransmission timeout must be positive")
         if max_retransmits < 1:
             raise TransportError("retransmit budget must be at least 1")
+        if flush_us < 0:
+            raise TransportError("flush deadline must be non-negative")
+        if not 0 < delayed_ack_us < rto_us:
+            raise TransportError(
+                "delayed-ack deadline must be positive and below the RTO "
+                "(or every delayed ack triggers a spurious retransmit)")
+        if ack_every < 1:
+            raise TransportError("ack_every must be at least 1")
+        if reorder_window < 1:
+            raise TransportError("reorder window must be at least 1")
+        if dupack_threshold < 1:
+            raise TransportError("dup-ack threshold must be at least 1")
+        mtu = MTU_BYTES if mtu_bytes is None else mtu_bytes
+        budget = mtu - HEADER_BYTES - _FRAME_HEADER_BYTES
+        if budget < _MSG_HEADER_BYTES + 1:
+            raise TransportError(f"MTU {mtu} leaves no room for messages")
         self.host = host
         self.sim: Simulator = host.sim
         self.rto_us = rto_us
         self.max_retransmits = max_retransmits
+        self.flush_us = flush_us
+        self.delayed_ack_us = delayed_ack_us
+        self.ack_every = ack_every
+        self.reorder_window = reorder_window
+        # The simulated links are FIFO, so a duplicate ack is a strong
+        # loss signal; 2 tolerates one stray crossing.  Raise it if the
+        # fabric ever reorders.
+        self.dupack_threshold = dupack_threshold
+        self.mtu_bytes = mtu
+        self._frame_budget = budget
         self.data_kind = data_kind
         self.ack_kind = ack_kind
         self.tracer = tracer or Tracer()
@@ -96,20 +159,20 @@ class _TransportBase:
         self._handler = handler
 
     def send(self, dst: str, payload: Dict[str, Any], payload_bytes: int) -> None:
-        """Queue one message for reliable, in-order delivery to ``dst``."""
+        """Queue one message for reliable, in-order delivery to ``dst``.
+
+        The message coalesces with everything else queued toward ``dst``
+        inside the flush deadline into one MTU-bounded frame."""
         tx = self._tx.setdefault(dst, _PeerTx())
-        seq = tx.next_seq
-        tx.next_seq += 1
-        packet = Packet(
-            kind=self.data_kind,
-            src=self.host.name,
-            dst=dst,
-            payload={"seq": seq, "epoch": tx.epoch, "data": payload},
-            payload_bytes=_DATA_HEADER_BYTES + payload_bytes,
-        )
-        tx.send_times[seq] = self.sim.now
-        tx.backlog.append(packet)
-        self._pump(dst, tx)
+        tx.coalesce.append((payload, payload_bytes))
+        tx.coalesce_bytes += payload_bytes + _MSG_HEADER_BYTES
+        if tx.coalesce_bytes >= self._frame_budget:
+            # The MTU budget is full: frame the full prefix now instead
+            # of waiting out the deadline.
+            self.tracer.count("transport.frame.mtu_flush")
+            self._flush_frames(dst, tx, full_only=True)
+        if tx.coalesce and tx.flush_event is None:
+            tx.flush_event = self.sim.schedule(self.flush_us, self._on_flush, dst)
 
     # -- window policy (subclass hooks) --------------------------------------
     def _window(self, dst: str, tx: _PeerTx) -> int:
@@ -120,12 +183,58 @@ class _TransportBase:
         return True
 
     def _on_ack_accounting(self, dst: str) -> None:
-        """Window growth hook, called once per accepted ack."""
+        """Window growth hook, called once per newly acked frame."""
 
     def _on_timeout_accounting(self, dst: str) -> None:
         """Window collapse hook, called once per retransmission timeout."""
 
-    # -- sender side --------------------------------------------------------
+    # -- sender side: framing -----------------------------------------------
+    def _on_flush(self, dst: str) -> None:
+        tx = self._tx.get(dst)
+        if tx is None:
+            return
+        tx.flush_event = None
+        self._flush_frames(dst, tx, full_only=False)
+
+    def _flush_frames(self, dst: str, tx: _PeerTx, full_only: bool) -> None:
+        """Pack the coalesce queue into MTU-bounded frames.
+
+        ``full_only`` (the MTU-pressure path) leaves a partial tail
+        coalescing until the flush deadline; the deadline path frames
+        everything."""
+        msgs = tx.coalesce
+        while msgs:
+            take = 1
+            size = msgs[0][1] + _MSG_HEADER_BYTES
+            while (take < len(msgs)
+                   and size + msgs[take][1] + _MSG_HEADER_BYTES
+                   <= self._frame_budget):
+                size += msgs[take][1] + _MSG_HEADER_BYTES
+                take += 1
+            if full_only and take == len(msgs) and size < self._frame_budget:
+                break  # partial tail keeps coalescing
+            entries = msgs[:take]
+            del msgs[:take]
+            tx.coalesce_bytes -= size
+            seq = tx.next_seq
+            tx.next_seq += 1
+            packet = Packet(
+                kind=self.data_kind,
+                src=self.host.name,
+                dst=dst,
+                payload={"seq": seq, "epoch": tx.epoch,
+                         "msgs": [m for m, _ in entries],
+                         "nbytes": [n for _, n in entries]},
+                payload_bytes=_FRAME_HEADER_BYTES + size,
+            )
+            tx.queued_at[seq] = self.sim.now
+            tx.backlog.append(packet)
+            self.tracer.count("transport.frame.tx")
+            self.tracer.sample("transport.frame.msgs", float(len(entries)),
+                               self.sim.now)
+        self._pump(dst, tx)
+
+    # -- sender side: the window --------------------------------------------
     def _pump(self, dst: str, tx: _PeerTx) -> None:
         if not self._ready(dst, tx):
             return
@@ -135,17 +244,30 @@ class _TransportBase:
 
     def _transmit(self, dst: str, tx: _PeerTx, packet: Packet) -> None:
         seq = packet.payload["seq"]
+        queued = tx.queued_at.pop(seq, None)
+        if queued is not None:
+            # First transmission: the delivery clock starts *here*, so
+            # transport.delivery_us measures the wire (send -> ack), not
+            # the backlog; the backlog wait is its own signal.
+            tx.send_times[seq] = self.sim.now
+            self.tracer.sample("transport.queue_us", self.sim.now - queued,
+                               self.sim.now)
         timer = self.sim.schedule(self.rto_us, self._on_timeout, dst, seq)
         tx.inflight[seq] = (packet, timer)
         self.tracer.count("transport.tx")
         # Each (re)transmission is a distinct wire packet: fresh UID (so
         # switch duplicate suppression never eats a retransmission) and
         # fresh hop/TTL budget.  Protocol-level dedupe keys on seq.
+        payload = dict(packet.payload)
+        ack = self._take_pending_ack(dst)
+        if ack is not None:
+            payload["ack"], payload["ack_epoch"], payload["ack_sack"] = ack
+            self.tracer.count("transport.ack.piggybacked")
         fresh = Packet(
             kind=packet.kind,
             src=packet.src,
             dst=packet.dst,
-            payload=packet.payload,
+            payload=payload,
             payload_bytes=packet.payload_bytes,
         )
         self.host.send(fresh)
@@ -172,53 +294,179 @@ class _TransportBase:
         self.tracer.count("transport.peer_dead")
         for _, timer in tx.inflight.values():
             timer.cancel()
+        if tx.flush_event is not None:
+            tx.flush_event.cancel()
+            tx.flush_event = None
         tx.inflight.clear()
         tx.backlog.clear()
+        tx.coalesce.clear()
+        tx.coalesce_bytes = 0
         tx.send_times.clear()
+        tx.queued_at.clear()
         tx.attempts.clear()
         tx.next_seq = 0
         tx.epoch += 1
+        tx.dup_acks = 0
+        tx.fast_done = -1
+        tx.recover = -1
         self._on_peer_dead(dst)
 
     def _on_peer_dead(self, dst: str) -> None:
         """Subclass hook: extra state to drop when a peer is declared dead."""
 
-    def _on_ack(self, packet: Packet) -> None:
-        dst = packet.src
-        tx = self._tx.get(dst)
+    # -- ack processing (standalone and piggybacked) -------------------------
+    def _accept_cum_ack(self, peer: str, cum: int, epoch: int,
+                        standalone: bool, sack: Tuple[int, ...] = ()) -> None:
+        tx = self._tx.get(peer)
         if tx is None:
             return
-        if packet.payload.get("epoch", 0) != tx.epoch:
+        if epoch != tx.epoch:
             self.tracer.count("transport.dup_ack")  # ack from a dead epoch
             return
-        seq = packet.payload["seq"]
-        entry = tx.inflight.pop(seq, None)
-        if entry is None:
-            self.tracer.count("transport.dup_ack")
+        # Selectively-acked frames sit in the receiver's reorder buffer:
+        # they are delivered the instant the hole fills, so stop their
+        # retransmit timers and open the window for fresh frames.
+        freed = 0
+        for seq in sack:
+            entry = tx.inflight.pop(seq, None)
+            if entry is None:
+                continue
+            entry[1].cancel()
+            tx.attempts.pop(seq, None)
+            sent_at = tx.send_times.pop(seq, None)
+            if sent_at is not None:
+                self.tracer.sample("transport.delivery_us",
+                                   self.sim.now - sent_at, self.sim.now)
+            self.tracer.count("transport.acked")
+            self.tracer.count("transport.sacked")
+            self._on_ack_accounting(peer)
+            freed += 1
+        acked = sorted(seq for seq in tx.inflight if seq <= cum)
+        if not acked:
+            if standalone and not freed:
+                self.tracer.count("transport.dup_ack")
+            # A no-progress ack while the next frame is inflight means
+            # the receiver is buffering past a hole: after three, repair
+            # the hole now (one RTT) instead of waiting out the RTO.
+            hole = cum + 1
+            if hole in tx.inflight and hole != tx.fast_done:
+                tx.dup_acks += 1
+                if tx.dup_acks >= self.dupack_threshold:
+                    tx.dup_acks = 0
+                    tx.fast_done = hole  # later dups for this hole are stale
+                    tx.recover = max(tx.inflight)
+                    self._fast_retransmit(peer, tx, hole)
+            if freed:
+                self._pump(peer, tx)
             return
-        entry[1].cancel()
-        tx.attempts.pop(seq, None)
-        sent_at = tx.send_times.pop(seq, None)
-        if sent_at is not None:
-            self.tracer.sample("transport.delivery_us", self.sim.now - sent_at, self.sim.now)
-        self.tracer.count("transport.acked")
-        self._on_ack_accounting(dst)
-        self._pump(dst, tx)
+        tx.dup_acks = 0
+        for seq in acked:
+            _, timer = tx.inflight.pop(seq)
+            timer.cancel()
+            tx.attempts.pop(seq, None)
+            sent_at = tx.send_times.pop(seq, None)
+            if sent_at is not None:
+                self.tracer.sample("transport.delivery_us",
+                                   self.sim.now - sent_at, self.sim.now)
+            self.tracer.count("transport.acked")
+            self._on_ack_accounting(peer)
+        if tx.recover >= 0:
+            if cum >= tx.recover:
+                tx.recover = -1  # the whole loss window has been repaired
+            else:
+                # NewReno partial ack: progress inside the loss window
+                # exposes the next hole — repair it now rather than
+                # burning an RTO per hole.
+                hole = cum + 1
+                if hole in tx.inflight and hole != tx.fast_done:
+                    tx.fast_done = hole
+                    self._fast_retransmit(peer, tx, hole)
+        self._pump(peer, tx)
 
-    # -- receiver side ---------------------------------------------------------
-    def _on_data(self, packet: Packet) -> None:
-        src = packet.src
-        rx = self._rx.setdefault(src, _PeerRx())
-        seq = packet.payload["seq"]
-        epoch = packet.payload.get("epoch", 0)
-        ack = Packet(
+    def _fast_retransmit(self, dst: str, tx: _PeerTx, seq: int) -> None:
+        attempts = tx.attempts.get(seq, 0) + 1
+        if attempts > self.max_retransmits:
+            self._declare_peer_dead(dst, tx)
+            return
+        tx.attempts[seq] = attempts
+        packet, timer = tx.inflight.pop(seq)
+        timer.cancel()
+        self.tracer.count("transport.retransmit")
+        self.tracer.count("transport.fast_retransmit")
+        self._on_timeout_accounting(dst)
+        self._transmit(dst, tx, packet)
+
+    def _on_ack(self, packet: Packet) -> None:
+        self._accept_cum_ack(packet.src, packet.payload["cum"],
+                             packet.payload.get("epoch", 0), standalone=True,
+                             sack=tuple(packet.payload.get("sack", ())))
+
+    # -- receiver side: acks --------------------------------------------------
+    # Cap on the out-of-order seqs reported per ack (keeps the modelled
+    # ack size bounded; anything beyond repairs via later acks or RTO).
+    SACK_LIMIT = 64
+    _SACK_ENTRY_BYTES = 4
+
+    def _sack_list(self, rx: _PeerRx) -> List[int]:
+        return sorted(rx.out_of_order)[: self.SACK_LIMIT]
+
+    def _take_pending_ack(self, peer: str) -> Optional[Tuple[int, int, List[int]]]:
+        """Consume the ack owed to ``peer`` for piggybacking, if any."""
+        rx = self._rx.get(peer)
+        if rx is None or rx.ack_owed == 0:
+            return None
+        if rx.ack_event is not None:
+            rx.ack_event.cancel()
+            rx.ack_event = None
+        rx.ack_owed = 0
+        return rx.expected_seq - 1, rx.epoch, self._sack_list(rx)
+
+    def _note_ack_owed(self, src: str, rx: _PeerRx) -> None:
+        rx.ack_owed += 1
+        if rx.ack_owed >= self.ack_every:
+            self._send_ack(src, rx, delayed=False)
+        elif rx.ack_event is None:
+            rx.ack_event = self.sim.schedule(self.delayed_ack_us,
+                                             self._on_delayed_ack, src)
+
+    def _on_delayed_ack(self, src: str) -> None:
+        rx = self._rx.get(src)
+        if rx is None:
+            return
+        rx.ack_event = None
+        if rx.ack_owed:
+            self._send_ack(src, rx, delayed=True)
+
+    def _send_ack(self, src: str, rx: _PeerRx, delayed: bool) -> None:
+        if rx.ack_event is not None:
+            rx.ack_event.cancel()
+            rx.ack_event = None
+        rx.ack_owed = 0
+        self.tracer.count("transport.ack.tx")
+        if delayed:
+            self.tracer.count("transport.ack.delayed")
+        sack = self._sack_list(rx)
+        self.host.send(Packet(
             kind=self.ack_kind,
             src=self.host.name,
             dst=src,
-            payload={"seq": seq, "epoch": epoch},
-            payload_bytes=_ACK_BYTES,
-        )
-        self.host.send(ack)
+            payload={"cum": rx.expected_seq - 1, "epoch": rx.epoch,
+                     "sack": sack},
+            payload_bytes=_ACK_BYTES + self._SACK_ENTRY_BYTES * len(sack),
+        ))
+
+    # -- receiver side: data ---------------------------------------------------
+    def _on_data(self, packet: Packet) -> None:
+        src = packet.src
+        payload = packet.payload
+        if "ack" in payload:
+            # Reverse-direction cumulative ack piggybacked on this frame.
+            self._accept_cum_ack(src, payload["ack"],
+                                 payload.get("ack_epoch", 0), standalone=False,
+                                 sack=tuple(payload.get("ack_sack", ())))
+        rx = self._rx.setdefault(src, _PeerRx())
+        seq = payload["seq"]
+        epoch = payload.get("epoch", 0)
         if epoch > rx.epoch:
             # The sender declared us dead and restarted from seq 0 in a
             # fresh epoch; realign so the restart is not read as dups.
@@ -229,30 +477,51 @@ class _TransportBase:
             self.tracer.count("transport.dup_data")  # straggler from a dead epoch
             return
         if seq < rx.expected_seq or seq in rx.out_of_order:
+            # Duplicate: our ack was lost or still pending — re-ack
+            # immediately (an RTO already burnt; don't let the delayed
+            # timer feed further retransmissions).
             self.tracer.count("transport.dup_data")
+            self._send_ack(src, rx, delayed=False)
+            return
+        if seq >= rx.expected_seq + self.reorder_window:
+            # Beyond the reorder window: drop *without* acking so the
+            # buffer stays bounded; the sender's retransmit timer will
+            # re-offer the frame once expected_seq has caught up.
+            self.tracer.count("transport.rx_overflow")
             return
         rx.out_of_order[seq] = packet
         while rx.expected_seq in rx.out_of_order:
             ready = rx.out_of_order.pop(rx.expected_seq)
             rx.expected_seq += 1
-            self.tracer.count("transport.delivered")
+            msgs = ready.payload["msgs"]
+            sizes = ready.payload["nbytes"]
+            self.tracer.count("transport.delivered", len(msgs))
             if self._handler is not None:
-                self._handler(
-                    src,
-                    ready.payload["data"],
-                    ready.payload_bytes - _DATA_HEADER_BYTES,
-                )
+                for msg, nbytes in zip(msgs, sizes):
+                    self._handler(src, msg, nbytes)
+        if rx.out_of_order:
+            # A hole is open: ack immediately so the stalled cumulative
+            # ack reaches the sender as a dup-ack (its fast-retransmit
+            # signal), instead of batching behind the delayed-ack timer.
+            self._send_ack(src, rx, delayed=False)
+        else:
+            self._note_ack_owed(src, rx)
 
     # -- introspection -----------------------------------------------------
     def inflight_count(self, dst: str) -> int:
-        """Messages awaiting acknowledgement toward ``dst``."""
+        """Frames awaiting acknowledgement toward ``dst``."""
         tx = self._tx.get(dst)
         return len(tx.inflight) if tx else 0
 
     def backlog_count(self, dst: str) -> int:
-        """Messages queued behind the window toward ``dst``."""
+        """Frames queued behind the window toward ``dst``."""
         tx = self._tx.get(dst)
         return len(tx.backlog) if tx else 0
+
+    def coalescing_count(self, dst: str) -> int:
+        """Messages awaiting framing toward ``dst``."""
+        tx = self._tx.get(dst)
+        return len(tx.coalesce) if tx else 0
 
 
 class LightweightTransport(_TransportBase):
@@ -260,12 +529,13 @@ class LightweightTransport(_TransportBase):
     handshake, no congestion machinery."""
 
     def __init__(self, host: Host, window: int = 32, rto_us: float = 200.0,
-                 max_retransmits: int = 30, tracer: Optional[Tracer] = None):
+                 max_retransmits: int = 30, tracer: Optional[Tracer] = None,
+                 **kwargs):
         if window < 1:
             raise TransportError("window must be at least 1")
         super().__init__(host, rto_us=rto_us, data_kind="lwt.data",
                          ack_kind="lwt.ack", max_retransmits=max_retransmits,
-                         tracer=tracer)
+                         tracer=tracer, **kwargs)
         self.window = window
 
     def _window(self, dst: str, tx: _PeerTx) -> int:
@@ -285,10 +555,11 @@ class TcpLikeTransport(_TransportBase):
 
     def __init__(self, host: Host, rto_us: float = 200.0,
                  initial_ssthresh: int = 64, max_window: int = 256,
-                 max_retransmits: int = 30, tracer: Optional[Tracer] = None):
+                 max_retransmits: int = 30, tracer: Optional[Tracer] = None,
+                 **kwargs):
         super().__init__(host, rto_us=rto_us, data_kind="tcp.data",
                          ack_kind="tcp.ack", max_retransmits=max_retransmits,
-                         tracer=tracer)
+                         tracer=tracer, **kwargs)
         self.initial_ssthresh = initial_ssthresh
         self.max_window = max_window
         self._cwnd: Dict[str, float] = {}

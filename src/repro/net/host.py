@@ -16,9 +16,14 @@ from ..sim import Simulator, Store, Tracer
 from .node import Node, NodeError
 from .packet import BROADCAST, Packet
 
-__all__ = ["Host", "PacketHandler"]
+__all__ = ["Host", "PacketHandler", "MTU_BYTES"]
 
 PacketHandler = Callable[[Packet], None]
+
+#: Maximum total wire size of one packet a host NIC emits.  Protocols
+#: that coalesce small messages into frames (the memproto transports)
+#: bound their frames so HEADER_BYTES + payload stays within this.
+MTU_BYTES = 1500
 
 _DEDUPE_WINDOW = 4096
 

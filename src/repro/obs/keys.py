@@ -269,6 +269,86 @@ VOCABULARY: Tuple[KeySpec, ...] = (
     _k("lease.access_ok", "counter", "1", "Accesses that succeeded."),
     _k("lease.access_failed", "counter", "1", "Accesses that failed."),
     _k("lease.access_us", "series", "µs", "Per-access latency."),
+    # ---- transport.* (memproto reliable transports) -------------------------
+    _k("transport.tx", "counter", "1", "Data frames sent (first transmission)."),
+    _k("transport.frame.tx", "counter", "1",
+       "Frames assembled from the coalescing buffer."),
+    _k("transport.frame.msgs", "series", "1",
+       "Messages coalesced into each frame."),
+    _k("transport.frame.mtu_flush", "counter", "1",
+       "Coalescing buffers flushed early because the next message "
+       "would overflow the frame budget."),
+    _k("transport.retransmit", "counter", "1",
+       "Frames retransmitted (RTO and fast retransmit)."),
+    _k("transport.fast_retransmit", "counter", "1",
+       "Holes repaired on triple duplicate acks, ahead of the RTO."),
+    _k("transport.acked", "counter", "1",
+       "Frames confirmed delivered (cumulative or selective ack)."),
+    _k("transport.sacked", "counter", "1",
+       "Frames confirmed via the selective-ack block while a hole was open."),
+    _k("transport.ack.tx", "counter", "1",
+       "Standalone cumulative-ack packets sent."),
+    _k("transport.ack.delayed", "counter", "1",
+       "Standalone acks fired by the delayed-ack timer."),
+    _k("transport.ack.piggybacked", "counter", "1",
+       "Owed acks carried on reverse-direction data frames."),
+    _k("transport.delivered", "counter", "1",
+       "Messages delivered in order, exactly once, to the handler."),
+    _k("transport.dup_ack", "counter", "1",
+       "Standalone acks carrying no new cumulative progress."),
+    _k("transport.dup_data", "counter", "1",
+       "Duplicate data frames discarded (and re-acked)."),
+    _k("transport.rx_overflow", "counter", "1",
+       "Frames dropped without ack: beyond the reorder window."),
+    _k("transport.peer_dead", "counter", "1",
+       "Peers declared dead after the retransmit budget."),
+    _k("transport.handshake", "counter", "1",
+       "TCP-like connections established."),
+    _k("transport.handshake_abandoned", "counter", "1",
+       "Handshakes given up after SYN retries."),
+    _k("transport.delivery_us", "series", "µs",
+       "First-transmission to cumulative-ack latency per frame."),
+    _k("transport.queue_us", "series", "µs",
+       "Backlog wait from frame assembly to first transmission."),
+    # ---- coherence.* (memproto MSI directory agents) ------------------------
+    _k("coherence.home_hit", "counter", "1",
+       "Reads served from the local authoritative copy."),
+    _k("coherence.home_write", "counter", "1",
+       "Writes applied directly to the local authoritative copy."),
+    _k("coherence.cache_hit", "counter", "1",
+       "Reads/writes served from a valid cached copy."),
+    _k("coherence.read_miss", "counter", "1",
+       "Reads that had to acquire a Shared copy."),
+    _k("coherence.write_miss", "counter", "1",
+       "Writes that had to acquire a Modified copy."),
+    _k("coherence.upgrade", "counter", "1", "S -> M upgrade requests."),
+    _k("coherence.upgrade_ack", "counter", "1",
+       "Upgrades granted without re-shipping data."),
+    _k("coherence.grant", "counter", "1", "Acquisitions granted by the home."),
+    _k("coherence.probe", "counter", "1",
+       "Probe/invalidate entries sent to copy holders."),
+    _k("coherence.invalidated", "counter", "1",
+       "Cached copies dropped in response to a probe."),
+    _k("coherence.downgraded", "counter", "1",
+       "Modified copies downgraded to Shared by a probe."),
+    _k("coherence.batch.acquire_pkts", "counter", "1",
+       "Acquire packets sent (each may carry many requests)."),
+    _k("coherence.batch.multi_acquire", "counter", "1",
+       "Acquire packets carrying more than one request."),
+    _k("coherence.batch.grant_pkts", "counter", "1",
+       "Grant packets sent (each may answer many requests)."),
+    _k("coherence.batch.multi_grant", "counter", "1",
+       "Grant packets answering more than one request."),
+    _k("coherence.batch.probe_pkts", "counter", "1",
+       "Probe packets sent (each may carry many entries)."),
+    _k("coherence.batch.multi_probe", "counter", "1",
+       "Probe packets carrying more than one entry."),
+    _k("coherence.bad_home", "counter", "1",
+       "Acquire/release packets for objects this host is not home of."),
+    _k("coherence.orphan_grant", "counter", "1",
+       "Grant entries with no pending request (duplicate delivery)."),
+    _k("coherence.orphan_probe_ack", "counter", "1",
+       "Probe-ack entries with no collecting transaction."),
 )
 
 

@@ -1,5 +1,7 @@
 """Unit and integration tests for transports and MSI coherence."""
 
+import os
+
 import pytest
 
 from repro.core import IDAllocator
@@ -387,7 +389,8 @@ class TestTransportDeadPeer:
 
         sim.run_process(proc())
         assert got == [2]
-        assert tx.tracer.counters["transport.retransmit"] == 10  # 2 pkts x 5
+        # Both same-instant sends coalesce into one frame: one budget.
+        assert tx.tracer.counters["transport.retransmit"] == 5
 
     def test_peer_dead_epoch_resyncs_receiver(self):
         # After a dead-peer declaration the sender restarts at seq 0; the
@@ -442,3 +445,401 @@ class TestTransportDeadPeer:
         net = build_star(sim, 1)
         with pytest.raises(TransportError):
             LightweightTransport(net.host("h0"), max_retransmits=0)
+
+
+# Shift every seed below by REPRO_SEED_OFFSET so CI's fault-seed matrix
+# replays the batched-transport paths under fresh randomness.
+SEED_OFFSET = int(os.environ.get("REPRO_SEED_OFFSET", "0"))
+
+
+def _seed(n: int) -> int:
+    return n + SEED_OFFSET
+
+
+class TestFrameBatching:
+    """The tentpole: coalesced frames, piggybacked acks, batched probes."""
+
+    def test_same_instant_sends_share_one_frame(self):
+        sim, tx, rx = _pair(seed=_seed(30))
+        got = []
+        rx.on_deliver(lambda src, payload, size: got.append(payload["i"]))
+
+        def proc():
+            for i in range(8):
+                tx.send("h1", {"i": i}, 64)
+            yield Timeout(10_000.0)
+
+        sim.run_process(proc())
+        assert got == list(range(8))
+        # 8 × (64B + header) fits one MTU frame: one wire seq, one ack.
+        assert tx.tracer.counters["transport.frame.tx"] == 1
+        assert tx.tracer.counters["transport.tx"] == 1
+        assert tx.tracer.counters["transport.delivered"] == 0
+        assert rx.tracer.counters["transport.delivered"] == 8
+
+    def test_mtu_bounds_frame_size(self):
+        sim, tx, rx = _pair(seed=_seed(31))
+        rx.on_deliver(lambda *a: None)
+
+        def proc():
+            # 6 × 512B cannot share one 1500B frame: expect 3 frames of
+            # two messages each (2 + 512 bytes per entry, 1446B budget).
+            for i in range(6):
+                tx.send("h1", {"i": i}, 512)
+            yield Timeout(10_000.0)
+
+        sim.run_process(proc())
+        assert tx.tracer.counters["transport.frame.tx"] == 3
+        assert tx.tracer.counters["transport.frame.mtu_flush"] >= 1
+        assert rx.tracer.counters["transport.delivered"] == 6
+
+    def test_single_message_departs_immediately(self):
+        sim, tx, rx = _pair(seed=_seed(32))
+        arrival = []
+        rx.on_deliver(lambda src, payload, size: arrival.append(sim.now))
+
+        def proc():
+            tx.send("h1", {"i": 0}, 64)
+            yield Timeout(10_000.0)
+
+        sim.run_process(proc())
+        # Zero flush deadline: the single rode out at t=0 and arrived
+        # after just the two link hops, not after any batching delay.
+        assert arrival and arrival[0] < 50.0
+
+    def test_acks_piggyback_on_reverse_data(self):
+        sim, tx, rx = _pair(seed=_seed(33))
+        rx.on_deliver(lambda src, payload, size:
+                      rx.send(src, {"echo": payload["i"]}, size))
+        tx.on_deliver(lambda *a: None)
+
+        def proc():
+            for i in range(20):
+                tx.send("h1", {"i": i}, 64)
+                yield Timeout(20.0)
+            yield Timeout(10_000.0)
+
+        sim.run_process(proc())
+        # The echo stream carries the acks: piggybacks happen and the
+        # standalone-ack path stays mostly quiet.
+        assert rx.tracer.counters["transport.ack.piggybacked"] > 0
+        total_acks = (rx.tracer.counters["transport.ack.piggybacked"]
+                      + rx.tracer.counters["transport.ack.tx"])
+        assert rx.tracer.counters["transport.ack.piggybacked"] * 2 >= total_acks
+
+    def test_delayed_ack_timer_covers_one_way_silence(self):
+        sim, tx, rx = _pair(seed=_seed(34))
+        rx.on_deliver(lambda *a: None)
+
+        def proc():
+            tx.send("h1", {"i": 0}, 64)  # one frame, no reverse data
+            yield Timeout(10_000.0)
+
+        sim.run_process(proc())
+        assert rx.tracer.counters["transport.ack.delayed"] == 1
+        assert tx.tracer.counters["transport.acked"] == 1
+
+    def test_validation_of_batching_knobs(self):
+        sim = Simulator(seed=_seed(35))
+        net = build_star(sim, 1)
+        host = net.host("h0")
+        with pytest.raises(TransportError):
+            LightweightTransport(host, delayed_ack_us=500.0)  # >= RTO
+        with pytest.raises(TransportError):
+            LightweightTransport(host, ack_every=0)
+        with pytest.raises(TransportError):
+            LightweightTransport(host, reorder_window=0)
+        with pytest.raises(TransportError):
+            LightweightTransport(host, mtu_bytes=40)  # below the headers
+        with pytest.raises(TransportError):
+            LightweightTransport(host, dupack_threshold=0)
+
+    def test_probe_fanout_coalesces_per_target(self):
+        # A batched acquire for two objects both dirty at the same
+        # sharer must send that sharer one probe packet, not two.
+        sim = Simulator(seed=_seed(36))
+        net = build_star(sim, 3)
+        home_map = {}
+        agents = {f"h{i}": CoherenceAgent(net.host(f"h{i}"), home_map)
+                  for i in range(3)}
+        alloc = IDAllocator(seed=_seed(36))
+        oids = [alloc.allocate() for _ in range(2)]
+        for oid in oids:
+            agents["h0"].host_object(oid, b"0" * 64)
+
+        def proc():
+            for i, oid in enumerate(oids):
+                yield from agents["h1"].write(oid, 0, bytes([65 + i]))
+            chunks = yield from agents["h2"].read_many(oids, 0, 1)
+            return chunks
+
+        chunks = sim.run_process(proc())
+        assert chunks == [b"A", b"B"]  # the dirty bytes, not the zeros
+        home = agents["h0"].tracer.counters
+        # Both downgrades rode one probe packet; both shared copies rode
+        # one grant packet back to the reader (the writes earlier each
+        # earned their own single-grant packet, hence three total).
+        assert home["coherence.probe"] == 2
+        assert home["coherence.batch.probe_pkts"] == 1
+        assert home["coherence.batch.multi_probe"] == 1
+        assert home["coherence.batch.grant_pkts"] == 3
+        assert home["coherence.batch.multi_grant"] == 1
+
+    def test_read_many_batches_acquires_and_grants(self):
+        sim = Simulator(seed=_seed(37))
+        net = build_star(sim, 2)
+        home_map = {}
+        home = CoherenceAgent(net.host("h0"), home_map)
+        reader = CoherenceAgent(net.host("h1"), home_map)
+        alloc = IDAllocator(seed=_seed(37))
+        oids = []
+        for i in range(8):
+            oid = alloc.allocate()
+            home.host_object(oid, bytes([65 + i]) * 16)
+            oids.append(oid)
+
+        def proc():
+            chunks = yield from reader.read_many(oids, 0, 4)
+            return chunks
+
+        chunks = sim.run_process(proc())
+        assert chunks == [bytes([65 + i]) * 4 for i in range(8)]
+        # One acquire packet out, one multi-oid grant packet back.
+        assert reader.tracer.counters["coherence.batch.acquire_pkts"] == 1
+        assert reader.tracer.counters["coherence.batch.multi_acquire"] == 1
+        assert home.tracer.counters["coherence.batch.grant_pkts"] == 1
+        assert home.tracer.counters["coherence.batch.multi_grant"] == 1
+        # And the copies are real cached Shared copies.
+        assert all(reader.cached_perm(oid) == PERM_SHARED for oid in oids)
+
+    def test_read_many_mixes_cached_home_and_remote(self):
+        sim = Simulator(seed=_seed(38))
+        net = build_star(sim, 2)
+        home_map = {}
+        home = CoherenceAgent(net.host("h0"), home_map)
+        reader = CoherenceAgent(net.host("h1"), home_map)
+        alloc = IDAllocator(seed=_seed(38))
+        oids = [alloc.allocate() for _ in range(4)]
+        for i, oid in enumerate(oids):
+            home.host_object(oid, bytes([48 + i]) * 8)
+
+        def proc():
+            # Pre-cache one object, then scan all four twice.
+            yield from reader.read(oids[1], 0, 8)
+            first = yield from reader.read_many(oids, 0, 8)
+            second = yield from reader.read_many(oids, 0, 8)
+            return first, second
+
+        first, second = sim.run_process(proc())
+        expected = [bytes([48 + i]) * 8 for i in range(4)]
+        assert first == expected
+        assert second == expected
+        # The second scan was served entirely from cache.
+        assert reader.tracer.counters["coherence.read_miss"] == 4
+
+
+class TestSatelliteBugfixes:
+    """Regression tests for the four edge-case fixes (each fails on the
+    pre-fix code)."""
+
+    def _cluster(self, n=3, seed=None):
+        sim = Simulator(seed=_seed(40) if seed is None else seed)
+        net = build_star(sim, n)
+        home_map = {}
+        agents = {f"h{i}": CoherenceAgent(net.host(f"h{i}"), home_map)
+                  for i in range(n)}
+        oid = IDAllocator(seed=_seed(40)).allocate()
+        agents["h0"].host_object(oid, b"0" * 64)
+        return sim, agents, oid
+
+    # -- fix 1: out-of-range read/write must fault, not grow the object ----
+    def test_home_write_out_of_range_raises(self):
+        sim, agents, oid = self._cluster()
+
+        def proc():
+            try:
+                yield from agents["h0"].write(oid, 60, b"XXXXXXXX")
+            except CoherenceError:
+                return "raised", len(agents["h0"].authoritative_data(oid))
+
+        result = sim.run_process(proc())
+        # Pre-fix the slice assignment grew the 64-byte object to 68.
+        assert result == ("raised", 64)
+
+    def test_cached_write_out_of_range_raises(self):
+        sim, agents, oid = self._cluster()
+
+        def proc():
+            yield from agents["h1"].write(oid, 0, b"ok")  # cache Modified
+            try:
+                yield from agents["h1"].write(oid, 63, b"overflow")
+            except CoherenceError:
+                return "raised"
+
+        assert sim.run_process(proc()) == "raised"
+
+    def test_remote_read_out_of_range_raises(self):
+        sim, agents, oid = self._cluster()
+
+        def proc():
+            try:
+                yield from agents["h1"].read(oid, 32, 64)
+            except CoherenceError:
+                return "raised"
+
+        assert sim.run_process(proc()) == "raised"
+
+    def test_negative_offset_raises(self):
+        sim, agents, oid = self._cluster()
+
+        def proc():
+            try:
+                yield from agents["h0"].read(oid, -4, 4)
+            except CoherenceError:
+                return "raised"
+
+        assert sim.run_process(proc()) == "raised"
+
+    # -- fix 2: never-hosted oid on the home fast path -----------------------
+    def test_home_path_never_hosted_oid_raises_coherence_error(self):
+        sim, agents, _ = self._cluster()
+        ghost = IDAllocator(seed=_seed(99)).allocate()
+        # A stale home map claims h0 is home, but h0 never hosted it.
+        agents["h0"].home_map[ghost] = "h0"
+
+        def proc():
+            try:
+                yield from agents["h0"].read(ghost, 0, 4)
+            except CoherenceError:  # pre-fix: raw KeyError
+                return "read-raised"
+
+        assert sim.run_process(proc()) == "read-raised"
+
+        def proc2():
+            try:
+                yield from agents["h0"].write(ghost, 0, b"x")
+            except CoherenceError:
+                return "write-raised"
+
+        assert sim.run_process(proc2()) == "write-raised"
+
+    # -- fix 3: delivery_us excludes backlog queueing ------------------------
+    def test_delivery_latency_excludes_backlog_wait(self):
+        sim, tx, rx = _pair(seed=_seed(41), window=1)
+        rx.on_deliver(lambda *a: None)
+
+        def proc():
+            for i in range(6):
+                tx.send("h1", {"i": i}, 64)
+                yield Timeout(1.0)  # separate frames, all behind window=1
+            yield Timeout(100_000.0)
+
+        sim.run_process(proc())
+        deliveries = tx.tracer.series.samples("transport.delivery_us")
+        queue_waits = tx.tracer.series.samples("transport.queue_us")
+        assert len(deliveries) == 6
+        # Wire latency is two 5µs hops + the delayed-ack allowance; the
+        # backlog wait behind window=1 is far larger and must not leak
+        # into the delivery signal (pre-fix, later frames read 100µs+).
+        assert all(value < 80.0 for value in deliveries)
+        # The backlog wait is still visible, in its own series.
+        assert any(value > 50.0 for value in queue_waits)
+
+    # -- fix 4: the reorder buffer is bounded --------------------------------
+    def test_reorder_buffer_bounded_drops_without_ack(self):
+        from repro.net import Packet
+
+        sim, tx, rx = _pair(seed=_seed(42), reorder_window=4)
+        rx.on_deliver(lambda *a: None)
+        # Inject frames 1..9 while the receiver still expects seq 0: a
+        # sender racing far ahead of a stalled hole.
+        for seq in range(1, 10):
+            rx._on_data(Packet(
+                kind=rx.data_kind, src="h0", dst="h1",
+                payload={"seq": seq, "epoch": 0,
+                         "msgs": [{"i": seq}], "nbytes": [64]},
+                payload_bytes=66,
+            ))
+        state = rx._rx["h0"]
+        # Pre-fix: all 9 buffered. Post-fix: only seqs 1..3 (inside the
+        # window from expected_seq=0) are held; the rest dropped unacked.
+        assert len(state.out_of_order) == 3
+        assert rx.tracer.counters["transport.rx_overflow"] == 6
+        assert rx.tracer.counters["transport.delivered"] == 0
+
+
+class TestBatchedRecovery:
+    """Loss recovery on the batched path: SACK, fast retransmit, and the
+    fault-plan proof that piggybacked acks survive peer-dead resync."""
+
+    def test_sack_and_fast_retransmit_repair_holes(self):
+        sim, tx, rx = _pair(seed=_seed(50), loss=0.1)
+        got = []
+        rx.on_deliver(lambda src, payload, size: got.append(payload["i"]))
+
+        def proc():
+            for i in range(60):
+                tx.send("h1", {"i": i}, 400)
+                yield Timeout(5.0)
+            yield Timeout(500_000.0)
+
+        sim.run_process(proc())
+        assert got == list(range(60))
+        counters = tx.tracer.counters
+        # Recovery must lean on the fast path, not only RTO expiry.
+        assert counters["transport.retransmit"] > 0
+        assert (counters["transport.fast_retransmit"] > 0
+                or counters["transport.sacked"] > 0)
+
+    def test_piggybacked_acks_survive_peer_dead_epoch_resync(self):
+        from repro.faults import FaultInjector, FaultPlan
+
+        sim = Simulator(seed=_seed(51))
+        net = build_star(sim, 2)
+        tx = LightweightTransport(net.host("h0"), max_retransmits=4)
+        rx = LightweightTransport(net.host("h1"), max_retransmits=4)
+        got = []
+        # Echo every delivery so acks ride reverse-direction data frames
+        # through the whole run, including across the crash.
+        rx.on_deliver(lambda src, payload, size:
+                      rx.send(src, {"echo": payload["i"]}, size))
+        tx.on_deliver(lambda src, payload, size: got.append(payload["echo"]))
+        FaultInjector(net, FaultPlan()
+                      .crash_window("h1", 2_000.0, 10_000.0)).arm()
+
+        def proc():
+            for i in range(10):
+                tx.send("h1", {"i": i}, 64)
+                yield Timeout(100.0)
+            yield Timeout(1_500.0)  # h1 crashes at t=2ms
+            tx.send("h1", {"i": 97}, 64)  # lost to the crash; budget burns
+            yield Timeout(9_500.0)  # h1 recovers at t=10ms
+            assert tx.tracer.counters["transport.peer_dead"] >= 1
+            for i in range(10, 20):  # fresh epoch after recovery
+                tx.send("h1", {"i": i}, 64)
+                yield Timeout(100.0)
+            yield Timeout(20_000.0)
+            return None
+
+        sim.run_process(proc())
+        # Everything sent after recovery flowed in order on the new epoch.
+        assert got[-10:] == list(range(10, 20))
+        assert rx.tracer.counters["transport.ack.piggybacked"] > 0
+        # No duplicate deliveries despite retransmissions across epochs.
+        assert len(got) == len(set(got))
+
+
+class TestBenchDeterminism:
+    """Same seed ⇒ byte-identical results for the new batched scenarios."""
+
+    @pytest.mark.parametrize("name", ["memproto.batched_stream",
+                                      "coherence.scan"])
+    def test_scenario_repeats_exactly(self, name):
+        from repro.bench import select
+
+        spec = [s for s in select(name)][0]
+        first = spec.run(seed=_seed(7), use_quick=True)
+        second = spec.run(seed=_seed(7), use_quick=True)
+        assert first.ops == second.ops
+        assert first.sim_time_us == second.sim_time_us
+        assert first.counters == second.counters
