@@ -20,6 +20,12 @@ A fourth check holds BENCHMARKS.md in the same discipline: the rows of
 its "## Scenario catalogue" table must list exactly the scenarios the
 bench runner registers (``repro.bench.scenario_names()``).
 
+A fifth check holds PROXIES.md's "## Key vocabulary" table in lockstep
+with the ``proxy.*``/``prefetch.*`` subset of ``VOCABULARY``: the
+subsystem doc must carry exactly those rows, in vocabulary order, with
+the same kind/unit/description as the code (and therefore as
+OBSERVABILITY.md, by check 1).
+
 Run directly (exit 0/1) or through ``tests/test_check_docs.py``.
 """
 
@@ -34,6 +40,10 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 SRC = REPO / "src" / "repro"
 DOC = REPO / "OBSERVABILITY.md"
 BENCH_DOC = REPO / "BENCHMARKS.md"
+PROXY_DOC = REPO / "PROXIES.md"
+
+# Key prefixes whose vocabulary rows PROXIES.md must mirror.
+PROXY_PREFIXES = ("proxy.", "prefetch.")
 
 sys.path.insert(0, str(REPO / "src"))
 
@@ -68,6 +78,7 @@ INSTRUMENTED = (
     "discovery/sharded.py",
     "memproto/transport.py",
     "memproto/coherence.py",
+    "core/proxies.py",
 )
 
 # Keys emitted through a named constant rather than a string literal.
@@ -223,12 +234,56 @@ def check_bench_docs_match_registry() -> List[str]:
     return problems
 
 
+def parse_proxy_doc_rows() -> List[Tuple[str, str, str, str]]:
+    """The (key, kind, unit, description) rows under PROXIES.md's
+    "## Key vocabulary" heading."""
+    rows: List[Tuple[str, str, str, str]] = []
+    in_vocab = False
+    for line in PROXY_DOC.read_text(encoding="utf-8").splitlines():
+        if line.startswith("## "):
+            in_vocab = line.strip() == "## Key vocabulary"
+            continue
+        if not in_vocab:
+            continue
+        match = ROW_RE.match(line)
+        if match:
+            rows.append(match.groups())
+    return rows
+
+
+def check_proxy_doc_matches_code() -> List[str]:
+    if not PROXY_DOC.exists():
+        return ["PROXIES.md is missing (the proxy subsystem doc carries "
+                "the proxy.*/prefetch.* vocabulary rows)"]
+    documented = parse_proxy_doc_rows()
+    declared = [(s.name, s.kind, s.unit, s.description)
+                for s in keymod.VOCABULARY
+                if s.name.startswith(PROXY_PREFIXES)]
+    problems = []
+    doc_names = {row[0] for row in documented}
+    code_names = {row[0] for row in declared}
+    for name in sorted(code_names - doc_names):
+        problems.append(f"key {name!r} is in VOCABULARY but not in "
+                        f"PROXIES.md's key table")
+    for name in sorted(doc_names - code_names):
+        problems.append(f"key {name!r} is documented in PROXIES.md but is "
+                        f"not a proxy.*/prefetch.* VOCABULARY entry")
+    if not problems and documented != declared:
+        for doc_row, code_row in zip(documented, declared):
+            if doc_row != code_row:
+                problems.append(
+                    f"PROXIES.md row mismatch for {code_row[0]!r}: doc says "
+                    f"{doc_row!r}, code says {code_row!r}")
+    return problems
+
+
 def run_all() -> List[str]:
-    """All problems from all four checks (empty means consistent)."""
+    """All problems from all five checks (empty means consistent)."""
     return (check_docs_match_code()
             + check_documented_keys_emitted()
             + check_emitted_keys_documented()
-            + check_bench_docs_match_registry())
+            + check_bench_docs_match_registry()
+            + check_proxy_doc_matches_code())
 
 
 def main() -> int:
@@ -240,9 +295,11 @@ def main() -> int:
         return 1
     n_keys = len(keymod.VOCABULARY)
     n_scenarios = len(parse_bench_doc_scenarios())
+    n_proxy = len(parse_proxy_doc_rows())
     print(f"check_docs: OBSERVABILITY.md and repro.obs.keys agree "
           f"({n_keys} keys, {len(INSTRUMENTED)} instrumented files); "
-          f"BENCHMARKS.md and repro.bench agree ({n_scenarios} scenarios)")
+          f"BENCHMARKS.md and repro.bench agree ({n_scenarios} scenarios); "
+          f"PROXIES.md carries the {n_proxy} proxy/prefetch keys")
     return 0
 
 

@@ -706,3 +706,148 @@ def discovery_shard_failover(seed: int, scale: dict) -> ScenarioResult:
             "sharded.failures": point.failures,
         },
     )
+
+
+# ---------------------------------------------------------------------------
+# proxy: lazy object proxies + FOT reachability prefetching (PROXIES.md, E19)
+# ---------------------------------------------------------------------------
+
+
+def _proxy_cluster(seed: int):
+    from repro import FunctionRegistry, GlobalSpaceRuntime, Simulator, build_star
+
+    # Constrained links (0.5 Gbps vs the 10 Gbps default): staging the
+    # whole working set up front serializes on the holder's uplink, the
+    # regime where one-object-ahead prefetching visibly beats it.
+    sim = Simulator(seed=seed)
+    net = build_star(sim, 3, prefix="n", default_bandwidth_gbps=0.5)
+    registry = FunctionRegistry()
+    runtime = GlobalSpaceRuntime(net, registry)
+    for name in ("n0", "n1", "n2"):
+        runtime.add_node(name)
+    return sim, net, registry, runtime
+
+
+def _proxy_invoke_arm(sim, runtime, code_ref, refs, values, arm, n_objects):
+    """Run one ablation arm to completion; returns (latency, proxy counters).
+
+    ``eager`` stages every ref up front, ``lazy`` binds proxies with no
+    walk, ``prefetched`` adds a reachability budget wide enough to cover
+    the whole chain (budget stress belongs to the ablation benchmark).
+    """
+    from repro.core import PrefetchBudget
+    from repro.runtime import MODE_EAGER, MODE_PROXIED
+
+    mode = MODE_EAGER if arm == "eager" else MODE_PROXIED
+    prefetch = None
+    if arm == "prefetched":
+        prefetch = PrefetchBudget(depth=n_objects + 1, fanout=4,
+                                  max_objects=n_objects)
+    out = {}
+
+    def driver():
+        result = yield sim.spawn(runtime.invoke(
+            "n0", code_ref, data_refs=refs, values=values,
+            mode=mode, candidates=["n0"], prefetch=prefetch, flops=1))
+        out["result"] = result
+
+    sim.run_process(driver(), name=f"proxy-{arm}")
+    consumer = runtime.node("n0")
+    consumer.proxies.settle()
+    return out["result"], consumer.proxies.tracer.counters
+
+
+def _proxy_arm_counters(counters, by_arm):
+    """Fold per-arm latencies and the proxy/prefetch evidence keys."""
+    for arm, (latency, tracer) in by_arm.items():
+        counters[f"{arm}_us"] = int(latency)
+    counters["proxy.resolve.lazy"] = by_arm["lazy"][1].get("proxy.resolve.lazy")
+    for key in ("prefetch.issued", "prefetch.wasted",
+                "proxy.resolve.prefetch_hit", "proxy.resolve.prefetch_miss"):
+        counters[key] = by_arm["prefetched"][1].get(key)
+    return counters
+
+
+@register(
+    "proxy.traversal_lazy",
+    "eager/lazy/prefetched proxy arms over a pointer-linked list walk",
+    quick={"records": 64, "records_per_object": 8, "work_us": 5.0},
+    full={"records": 256, "records_per_object": 8, "work_us": 5.0},
+)
+def proxy_traversal_lazy(seed: int, scale: dict) -> ScenarioResult:
+    import random
+
+    from repro import GlobalRef
+    from repro.workloads import build_linked_list, register_proxied_traversal
+
+    by_arm = {}
+    total_time = 0.0
+    for arm in ("eager", "lazy", "prefetched"):
+        sim, net, registry, runtime = _proxy_cluster(seed)
+        register_proxied_traversal(registry)
+        head, objects, _ = build_linked_list(
+            runtime.node("n1").space, scale["records"],
+            scale["records_per_object"], rng=random.Random(seed))
+        for obj in objects:
+            runtime.adopt_object("n1", obj)
+        _, code_ref = runtime.create_code(
+            "n0", "traverse_list_proxied", text_size=256)
+        refs = {"head": head}
+        if arm == "eager":
+            for i, obj in enumerate(objects[1:]):
+                refs[f"chunk{i}"] = GlobalRef(obj.oid, 0, "read")
+        result, tracer = _proxy_invoke_arm(
+            sim, runtime, code_ref, refs,
+            {"work_us": scale["work_us"], "limit": scale["records"]},
+            arm, len(objects))
+        assert result.value["count"] == scale["records"]
+        by_arm[arm] = (result.latency_us, tracer)
+        total_time += sim.now
+    assert by_arm["prefetched"][0] < by_arm["eager"][0] < by_arm["lazy"][0], (
+        "expected prefetched < eager < lazy on the traversal walk")
+    counters = _proxy_arm_counters({}, by_arm)
+    return ScenarioResult(ops=3 * scale["records"], sim_time_us=total_time,
+                          counters=counters)
+
+
+@register(
+    "proxy.prefetch_inference",
+    "serving a FOT-chained sparse model: eager/lazy/prefetched arms",
+    quick={"partitions": 6, "entries": 256, "work_us": 120.0},
+    full={"partitions": 16, "entries": 256, "work_us": 120.0},
+)
+def proxy_prefetch_inference(seed: int, scale: dict) -> ScenarioResult:
+    import random
+
+    from repro import GlobalRef
+    from repro.workloads import (Activation, SparseModel, build_partition_chain,
+                                 register_proxied_serving)
+
+    by_arm = {}
+    total_time = 0.0
+    activation = Activation.generate(random.Random(seed + 1), 64)
+    for arm in ("eager", "lazy", "prefetched"):
+        sim, net, registry, runtime = _proxy_cluster(seed)
+        register_proxied_serving(registry)
+        model = SparseModel.generate(seed, scale["partitions"], scale["entries"])
+        head, objects = build_partition_chain(runtime.node("n1").space, model)
+        for obj in objects:
+            runtime.adopt_object("n1", obj)
+        _, code_ref = runtime.create_code(
+            "n0", "serve_partition_chain", text_size=256)
+        refs = {"head": head}
+        if arm == "eager":
+            for i, obj in enumerate(objects[1:]):
+                refs[f"part{i}"] = GlobalRef(obj.oid, 0, "read")
+        result, tracer = _proxy_invoke_arm(
+            sim, runtime, code_ref, refs,
+            {"activation": activation.values, "work_us": scale["work_us"]},
+            arm, len(objects))
+        assert result.value["partitions"] == scale["partitions"]
+        by_arm[arm] = (result.latency_us, tracer)
+        total_time += sim.now
+    assert by_arm["prefetched"][0] < by_arm["eager"][0], (
+        "expected the prefetched arm to beat eager staging")
+    counters = _proxy_arm_counters({}, by_arm)
+    return ScenarioResult(ops=3 * scale["partitions"], sim_time_us=total_time,
+                          counters=counters)

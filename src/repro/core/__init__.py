@@ -34,6 +34,18 @@ from .pointers import (
     InvariantPointer,
     PointerError,
 )
+from .proxies import (
+    PROXY_CACHED,
+    PROXY_INVALIDATED,
+    PROXY_OWNED,
+    PROXY_PREFETCH_INFLIGHT,
+    PROXY_UNRESOLVED,
+    ObjectProxy,
+    PrefetchBudget,
+    ProxyCache,
+    ProxyError,
+    ReachabilityPrefetcher,
+)
 from .reachability import ReachabilityGraph, adjacency_prefetch, reachability_prefetch
 from .refs import MODE_OPAQUE, MODE_READ, MODE_WRITE, REF_WIRE_BYTES, GlobalRef, RefError
 from .persistence import PersistenceError, PersistentStore
@@ -94,6 +106,17 @@ __all__ = [
     "ReachabilityGraph",
     "reachability_prefetch",
     "adjacency_prefetch",
+    # lazy proxies (PROXIES.md)
+    "ObjectProxy",
+    "ProxyCache",
+    "ProxyError",
+    "PrefetchBudget",
+    "ReachabilityPrefetcher",
+    "PROXY_UNRESOLVED",
+    "PROXY_PREFETCH_INFLIGHT",
+    "PROXY_CACHED",
+    "PROXY_OWNED",
+    "PROXY_INVALIDATED",
     # cost model & placement
     "CostModel",
     "LatencyHierarchy",

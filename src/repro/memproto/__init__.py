@@ -22,6 +22,7 @@ from .messages import (
     write_ack,
     write_request,
 )
+from .resolve import CoherentProxyResolver
 from .transport import LightweightTransport, TcpLikeTransport, TransportError
 
 __all__ = [
@@ -47,6 +48,7 @@ __all__ = [
     "TransportError",
     "CoherenceAgent",
     "CoherenceError",
+    "CoherentProxyResolver",
     "PERM_SHARED",
     "PERM_MODIFIED",
 ]

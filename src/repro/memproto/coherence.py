@@ -137,6 +137,16 @@ class CoherenceAgent:
         self._probe_flush: Dict[str, ScheduledEvent] = {}
         self._grant_out: Dict[str, List[Dict[str, Any]]] = {}
         self._grant_flush: Dict[str, ScheduledEvent] = {}
+        # Upper layers (the proxy cache) that must hear about pushed
+        # invalidations, so cached derivatives of our cache entries are
+        # dropped the instant the protocol drops the entry itself.
+        self._invalidation_listeners: List[Any] = []
+
+    def add_invalidation_listener(self, callback) -> None:
+        """Call ``callback(oid)`` whenever a probe invalidates a cached
+        copy on this host (the coherence-integrated invalidation hook
+        the lazy-proxy layer registers through)."""
+        self._invalidation_listeners.append(callback)
 
     # -- object registration --------------------------------------------------
     def host_object(self, oid: ObjectID, data: bytes) -> None:
@@ -231,6 +241,51 @@ class CoherenceAgent:
                 self._check_range(oid, len(entry.data), offset, length)
                 results[index] = bytes(entry.data[offset : offset + length])
         return [results[i] for i in range(len(oids))]
+
+    def read_objects(self, oids: Iterable[ObjectID]):
+        """Process: read the *full images* of many objects, batching the
+        Shared acquisitions per home into single multi-oid packets.
+
+        Unlike :meth:`read_many` this takes no range — object sizes vary
+        and each grant carries the whole authoritative copy — which is
+        what the lazy-proxy resolver needs: one batched acquisition per
+        reachability-walk level, whatever the objects' sizes.  Returns
+        ``{oid: bytes}`` (duplicates collapse to one entry).
+        """
+        results: Dict[ObjectID, bytes] = {}
+        by_home: Dict[str, List[Tuple[ObjectID, int, Future]]] = {}
+        for oid in oids:
+            if oid in results:
+                continue
+            entry = self._cache.get(oid)
+            if entry is not None:
+                self.tracer.count("coherence.cache_hit")
+                results[oid] = bytes(entry.data)
+                continue
+            if self._home_of(oid) == self.host.name:
+                directory = self._home_directory(oid)
+                if directory.owner is not None:
+                    yield from self._home_local_barrier(oid, PERM_SHARED)
+                self.tracer.count("coherence.home_hit")
+                results[oid] = bytes(directory.data)
+                continue
+            self.tracer.count("coherence.read_miss")
+            req_id = next(_req_ids)
+            future = Future(self.sim, name=f"bulk-{req_id}")
+            self._pending[req_id] = future
+            by_home.setdefault(self._home_of(oid), []).append(
+                (oid, req_id, future))
+        for home, wanted in by_home.items():
+            reqs = [{"oid": oid, "req_id": req_id}
+                    for oid, req_id, _ in wanted]
+            self._send_acquire(home, PERM_SHARED, reqs)
+        for home, wanted in by_home.items():
+            for oid, _, future in wanted:
+                granted = yield future
+                entry = _CacheEntry(bytearray(granted["data"]), PERM_SHARED)
+                self._cache[oid] = entry
+                results[oid] = bytes(entry.data)
+        return results
 
     def write(self, oid: ObjectID, offset: int, data: bytes):
         """Process: acquire Modified (if needed) and apply the store."""
@@ -442,8 +497,11 @@ class CoherenceAgent:
                 ack["kept_shared"] = True
                 self.tracer.count("coherence.downgraded")
             else:
-                self._cache.pop(oid, None)
+                dropped = self._cache.pop(oid, None)
                 self.tracer.count("coherence.invalidated")
+                if dropped is not None:
+                    for callback in self._invalidation_listeners:
+                        callback(oid)
             acks.append(ack)
         self.host.send(probe_ack_packet(self.host.name, packet.src, acks))
 

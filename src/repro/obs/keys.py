@@ -349,6 +349,22 @@ VOCABULARY: Tuple[KeySpec, ...] = (
        "Grant entries with no pending request (duplicate delivery)."),
     _k("coherence.orphan_probe_ack", "counter", "1",
        "Probe-ack entries with no collecting transaction."),
+    # ---- proxy.* / prefetch.* (tracer `runtime.proxy.<host>`; see PROXIES.md)
+    _k("proxy.resolve.lazy", "counter", "1",
+       "Proxies first resolved by a demand dereference with no prefetch cover."),
+    _k("proxy.resolve.eager", "counter", "1",
+       "Proxies resolved eagerly (warm) ahead of any dereference."),
+    _k("proxy.resolve.prefetch_hit", "counter", "1",
+       "First dereferences that found prefetched bytes already cached."),
+    _k("proxy.resolve.prefetch_miss", "counter", "1",
+       "First dereferences that waited on a prefetch batch still in flight."),
+    _k("prefetch.issued", "counter", "1",
+       "Objects fetched ahead of the access stream by reachability walks."),
+    _k("prefetch.wasted", "counter", "1",
+       "Prefetched images never dereferenced, or discarded by a raced "
+       "invalidation."),
+    _k("prefetch.depth_truncated", "counter", "1",
+       "Walks cut short by a depth or object budget with reachable work left."),
 )
 
 

@@ -4,12 +4,19 @@ rendezvous invocation engine — the paper's headline programming model."""
 from .engine import (
     MODE_EAGER,
     MODE_LAZY,
+    MODE_PROXIED,
     GlobalSpaceRuntime,
     InvokeResult,
     InvokeTimeout,
     RetryPolicy,
 )
-from .node import ClusterNode, ExecutionContext, FetchTimeout, RuntimeError_
+from .node import (
+    ClusterNode,
+    ExecutionContext,
+    FetchTimeout,
+    NodeProxyBackend,
+    RuntimeError_,
+)
 from .plan import Plan, PlanResult, PlanStep, run_plan
 
 __all__ = [
@@ -23,6 +30,8 @@ __all__ = [
     "RuntimeError_",
     "MODE_EAGER",
     "MODE_LAZY",
+    "MODE_PROXIED",
+    "NodeProxyBackend",
     "Plan",
     "PlanStep",
     "PlanResult",

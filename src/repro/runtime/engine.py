@@ -64,10 +64,13 @@ __all__ = [
     "RetryPolicy",
     "MODE_EAGER",
     "MODE_LAZY",
+    "MODE_PROXIED",
 ]
 
-MODE_EAGER = "eager"  # stage every input object at the executor up front
-MODE_LAZY = "lazy"    # stage only the code; data moves on demand
+MODE_EAGER = "eager"      # stage every input object at the executor up front
+MODE_LAZY = "lazy"        # stage only the code; data moves on demand
+MODE_PROXIED = "proxied"  # stage only the code; bind args as lazy proxies
+                          # (optionally covered by a reachability prefetch)
 
 
 class InvokeTimeout(RuntimeError_):
@@ -197,6 +200,8 @@ class GlobalSpaceRuntime:
         self.nodes[host_name] = node
         self.metrics.register(f"runtime.node.{host_name}", node.tracer,
                               replace=True)
+        self.metrics.register(f"runtime.proxy.{host_name}",
+                              node.proxies.tracer, replace=True)
         self._base_profiles[host_name] = NodeProfile(
             name=host_name, speed=speed, capacity_bytes=capacity_bytes,
             can_execute=can_execute,
@@ -311,6 +316,26 @@ class GlobalSpaceRuntime:
         holders = self.locations[oid]
         holders.discard(node_name)
 
+    def claim_ownership(self, oid: ObjectID, owner: str) -> None:
+        """Directory-backed ownership transfer: make ``owner`` the sole
+        replica holder of ``oid``.
+
+        Every other holder's copy is evicted and its proxy cache
+        invalidated, so no replica (or proxy image derived from one) can
+        serve the pre-write bytes afterwards.  Like the ``locations``
+        directory itself this is a control-plane operation — the eviction
+        push costs no data-plane transfer (the dropped copies carry no
+        dirty state; the owner's copy is authoritative from here on).
+        """
+        if owner not in self.holders(oid):
+            raise RuntimeError_(
+                f"{owner} holds no replica of {oid.short()} to take ownership of")
+        for holder in sorted(self.holders(oid)):
+            if holder == owner:
+                continue
+            self.drop_replica(oid, holder)
+            self.node(holder).proxies.invalidate(oid)
+
     def object_size(self, oid: ObjectID) -> int:
         """Registered wire size of ``oid``."""
         size = self._sizes.get(oid)
@@ -378,8 +403,18 @@ class GlobalSpaceRuntime:
                candidates: Optional[Iterable[str]] = None,
                decode_args: Iterable[str] = (),
                materialize_result: bool = False,
-               retry: Optional[RetryPolicy] = None):
+               retry: Optional[RetryPolicy] = None,
+               prefetch=None):
         """Process: run the code behind ``code_ref`` against ``data_refs``.
+
+        ``mode`` picks the data-movement strategy: ``MODE_EAGER`` stages
+        every input at the executor before compute, ``MODE_LAZY`` leaves
+        bare refs to demand-read, and ``MODE_PROXIED`` binds reference
+        arguments as lazy :class:`~repro.core.proxies.ObjectProxy`
+        handles — pass ``prefetch`` (a
+        :class:`~repro.core.proxies.PrefetchBudget`) to additionally
+        start a FOT reachability walk from the arguments so reachable
+        objects stream in concurrently with execution (PROXIES.md).
 
         ``pinned`` names data arguments that may not be moved off their
         current host (privacy/local-only constraints — such inputs force
@@ -399,6 +434,11 @@ class GlobalSpaceRuntime:
         """
         if invoker not in self.nodes:
             raise RuntimeError_(f"invoker {invoker!r} is not a cluster node")
+        if mode not in (MODE_EAGER, MODE_LAZY, MODE_PROXIED):
+            raise RuntimeError_(f"unknown invocation mode {mode!r}")
+        proxied = mode == MODE_PROXIED
+        if prefetch is not None and not proxied:
+            raise RuntimeError_("prefetch budgets require MODE_PROXIED")
         data_refs = dict(data_refs or {})
         values = dict(values or {})
         pinned = set(pinned)
@@ -469,7 +509,8 @@ class GlobalSpaceRuntime:
                         result = yield from executor.stage_and_execute(
                             code_ref.oid, stage, data_refs, values, compute_us,
                             decode_args=decode_args,
-                            materialize=materialize_result, span=root)
+                            materialize=materialize_result, span=root,
+                            proxied=proxied, prefetch=prefetch)
                         # Local result handoff is free: zero-width return
                         # phase.
                         self.spans.start(SPAN_RETURN, parent=root,
@@ -480,7 +521,8 @@ class GlobalSpaceRuntime:
                             data_refs, values, compute_us, result_bytes,
                             decode_args=decode_args,
                             materialize=materialize_result, span=root,
-                            deadline_us=policy.deadline_us)
+                            deadline_us=policy.deadline_us,
+                            proxied=proxied, prefetch=prefetch)
                 except _AttemptFailed as failure:
                     if failure.suspect:
                         self.health.suspect(failure.executor)
@@ -525,7 +567,8 @@ class GlobalSpaceRuntime:
                      result_bytes: int,
                      decode_args: Optional[List[str]] = None,
                      materialize: bool = False, span=None,
-                     deadline_us: Optional[float] = None):
+                     deadline_us: Optional[float] = None,
+                     proxied: bool = False, prefetch=None):
         node = self.node(invoker)
         decode_args = list(decode_args) if decode_args is not None else []
         if deadline_us is None:
@@ -547,6 +590,13 @@ class GlobalSpaceRuntime:
             "decode": decode_args,
             "materialize": materialize,
         }
+        if proxied:
+            # Small protocol flags; like span ids these are accounting
+            # metadata on top of the existing request overhead bytes.
+            payload["proxied"] = True
+            if prefetch is not None:
+                payload["prefetch"] = [prefetch.depth, prefetch.fanout,
+                                       prefetch.max_objects]
         if span is not None:
             # The request span measures the outbound wire leg: opened
             # here, finished by the executor when it starts serving.

@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from ..core.objectid import ObjectID
 from ..core.objects import MemObject
+from ..core.proxies import ObjectProxy, PrefetchBudget, ProxyCache
 from ..core.refs import GlobalRef
 from ..core.security import AccessDenied
 from ..core.space import ObjectSpace
@@ -47,9 +48,77 @@ from . import messages as m
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .engine import GlobalSpaceRuntime
 
-__all__ = ["ClusterNode", "ExecutionContext", "FetchTimeout", "RuntimeError_"]
+__all__ = ["ClusterNode", "ExecutionContext", "FetchTimeout",
+           "NodeProxyBackend", "RuntimeError_"]
 
 _req_ids = itertools.count(1)
+
+
+class NodeProxyBackend:
+    """Adapts a :class:`ClusterNode` to the proxy-resolver protocol of
+    :class:`repro.core.proxies.ProxyCache` (see PROXIES.md).
+
+    Resolutions ride the node's self-healing fetch path — a batch fans
+    out in parallel, and each fetch fails over across replicas on NACK
+    or holder crash — so a lazy dereference survives exactly the §5
+    partial-failure cases the eager staging path already survives.
+    Stores transfer ownership through the runtime's replica directory:
+    every other holder is evicted and its proxy cache invalidated before
+    the write lands.
+    """
+
+    def __init__(self, node: "ClusterNode"):
+        self.node = node
+
+    def resolve_many(self, oids):
+        """Process: make every object resident here (parallel, failing
+        over across replicas) and return ``{oid: payload bytes}``."""
+        from ..sim import AllOf
+
+        node = self.node
+        for oid in oids:
+            node.runtime.policies.check_read(oid, node.name)
+        missing = [oid for oid in oids if oid not in node.space]
+        if missing:
+            fetches = [
+                node.sim.spawn(node.fetch_object(oid),
+                               name=f"proxy-fetch-{oid.short()}")
+                for oid in missing
+            ]
+            yield AllOf(fetches)
+        out = {}
+        for oid in oids:
+            obj = node.space.get(oid)
+            out[oid] = obj.read(0, obj.size)
+        return out
+
+    def store(self, oid, offset, data):
+        """Process: ownership transfer, then the local store.
+
+        :meth:`GlobalSpaceRuntime.claim_ownership` makes this node the
+        sole replica holder (evicting other copies and invalidating
+        their proxies) before the bytes change, so no stale replica can
+        serve the old value afterwards.
+        """
+        node = self.node
+        node.runtime.policies.check_write(oid, node.name)
+        if oid not in node.space:
+            yield from node.fetch_object(oid)
+        node.runtime.claim_ownership(oid, node.name)
+        node.space.get(oid).write(offset, data)
+        return True
+
+    def successors(self, oid, image):
+        """FOT targets of a resident object (the reachability edges)."""
+        obj = self.node.space.try_get(oid)
+        return obj.fot.targets() if obj is not None else []
+
+    def resolve_pointer(self, oid, pointer, image):
+        """External-pointer resolution against the resident FOT."""
+        obj = self.node.space.try_get(oid)
+        if obj is None:
+            obj = self.node.runtime.peek_object(oid)
+        return obj.resolve(pointer)
 
 
 class RuntimeError_(Exception):
@@ -79,6 +148,10 @@ class ClusterNode:
         self.request_timeout_us = request_timeout_us
         self.active_jobs = 0
         self._pending: Dict[int, Future] = {}
+        # Lazy-proxy table (PROXIES.md): one per node, shared by every
+        # invocation that executes here, so prefetched images survive
+        # across invocations exactly like staged replicas do.
+        self.proxies = ProxyCache(self.sim, NodeProxyBackend(self))
         host.on(m.KIND_FETCH_REQ, self._on_fetch_req)
         host.on(m.KIND_FETCH_RSP, self._on_reply)
         host.on(m.KIND_FETCH_NACK, self._on_reply)
@@ -197,6 +270,10 @@ class ClusterNode:
         compute_us = packet.payload["compute_us"]
         decode_args = packet.payload.get("decode", [])
         materialize = packet.payload.get("materialize", False)
+        proxied = packet.payload.get("proxied", False)
+        prefetch = packet.payload.get("prefetch")
+        if prefetch is not None:
+            prefetch = PrefetchBudget(*prefetch)
         # Cross-host span plumbing: the invoker opened the root and the
         # request span; serving starts now, so the request (wire) leg
         # ends here.  The recorder is shared through the runtime.
@@ -210,7 +287,8 @@ class ClusterNode:
         try:
             result = yield from self.stage_and_execute(
                 code_oid, stage, refs, values, compute_us,
-                decode_args=decode_args, materialize=materialize, span=parent)
+                decode_args=decode_args, materialize=materialize, span=parent,
+                proxied=proxied, prefetch=prefetch)
             ok, wire_result = True, encode(result)
             retryable = False
         except Exception as exc:
@@ -235,7 +313,9 @@ class ClusterNode:
 
     def stage_and_execute(self, code_oid: ObjectID, stage, refs, values,
                           compute_us: float, decode_args=(),
-                          materialize: bool = False, span=None):
+                          materialize: bool = False, span=None,
+                          proxied: bool = False,
+                          prefetch: Optional[PrefetchBudget] = None):
         """Process: pull every staged object here (in parallel), then run.
 
         ``refs`` (name -> GlobalRef) and ``values`` (name -> plain value)
@@ -246,6 +326,13 @@ class ClusterNode:
         fresh local object and only its descriptor is returned — the
         §5 query-planning pattern: intermediates stay where they were
         produced until the next stage pulls them.
+
+        With ``proxied=True`` (MODE_PROXIED) reference arguments are
+        bound as :class:`ObjectProxy` instances instead of bare refs —
+        nothing is staged for them — and, when ``prefetch`` names a
+        budget, a reachability walk is spawned from the argument roots
+        *before* execution starts, so FOT-reachable objects stream in
+        concurrently with the computation (PROXIES.md).
 
         ``span`` is the invocation's root span; when given, the
         stage_in / queue / compute phases are recorded under it (spans
@@ -276,6 +363,14 @@ class ClusterNode:
                 staged += 1
             obj = self.space.get(ref.oid)
             args[name] = decode(obj.read(0, obj.size))
+        if proxied:
+            proxy_roots = [ref for name, ref in refs.items()
+                           if name not in decode_args]
+            for name, ref in refs.items():
+                if name not in decode_args:
+                    args[name] = self.proxies.proxy(ref)
+            if prefetch is not None:
+                self.proxies.start_prefetch(proxy_roots, budget=prefetch)
         compute_span = None
         if rec is not None:
             rec.finish(stage_span, objects=staged)
@@ -524,6 +619,13 @@ class ExecutionContext:
             obj = self.node.runtime.peek_object(ref.oid)
         target_oid, target_offset = obj.resolve(pointer)
         return GlobalRef(target_oid, target_offset, ref.mode)
+
+    def proxy(self, ref: GlobalRef) -> ObjectProxy:
+        """The node's lazy proxy for ``ref`` (PROXIES.md): dereference
+        with ``yield from proxy.read(...)``.  Resolution is deferred
+        until then, and may already be covered — or in flight — from a
+        reachability walk started at argument-binding time."""
+        return self.node.proxies.proxy(ref)
 
     def ensure_local(self, ref: GlobalRef):
         """Waitable: fetch the whole referenced object here (eager path)."""

@@ -5,16 +5,24 @@ from .inference import (
     Activation,
     ModelPartition,
     SparseModel,
+    build_partition_chain,
     dot_product,
     partition_flops,
     personalize,
     read_partition_object,
+    register_proxied_serving,
     write_partition_object,
 )
 from .kvstore import ObjectKVClient, ObjectKVService, RpcKVClient, RpcKVService
 from .patterns import hot_cold, sequential_sweep, uniform, zipf, zipf_weights
 from .scenario import STRATEGIES, Scenario, StrategyResult, build_scenario, run_strategy
-from .traversal import LIST_NODE, build_linked_list, local_traverse, register_traversal
+from .traversal import (
+    LIST_NODE,
+    build_linked_list,
+    local_traverse,
+    register_proxied_traversal,
+    register_traversal,
+)
 
 __all__ = [
     "ModelPartition",
@@ -25,6 +33,8 @@ __all__ = [
     "personalize",
     "write_partition_object",
     "read_partition_object",
+    "build_partition_chain",
+    "register_proxied_serving",
     "RpcKVService",
     "RpcKVClient",
     "ObjectKVService",
@@ -33,6 +43,7 @@ __all__ = [
     "build_linked_list",
     "local_traverse",
     "register_traversal",
+    "register_proxied_traversal",
     "Scenario",
     "StrategyResult",
     "build_scenario",

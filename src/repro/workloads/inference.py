@@ -20,6 +20,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from ..core.objects import MemObject
+from ..core.pointers import POINTER_BYTES, InvariantPointer
+from ..core.refs import GlobalRef
 from ..core.space import ObjectSpace
 
 __all__ = [
@@ -29,6 +31,8 @@ __all__ = [
     "dot_product",
     "write_partition_object",
     "read_partition_object",
+    "build_partition_chain",
+    "register_proxied_serving",
     "personalize",
     "partition_flops",
     "serving_compute_us",
@@ -212,3 +216,85 @@ def read_partition_object(obj: MemObject) -> ModelPartition:
     """Rebuild a partition from its object image (a byte-level copy —
     contrast with the serializer walk in :mod:`repro.rpc.serializer`)."""
     return ModelPartition.unpack(obj.read(0, obj.size))
+
+
+def build_partition_chain(
+    space: ObjectSpace, model: SparseModel, label: str = "pchain",
+) -> Tuple[GlobalRef, List[MemObject]]:
+    """Store the model as a chain of per-partition objects.
+
+    Each object is ``[8B next pointer][packed image]``, and partition
+    i -> i+1 is linked through the FOT — so both an embedded-pointer
+    walk and a pure reachability (FOT) walk see the same chain.  This is
+    the shape the §2 serving path takes once partitions are objects
+    instead of RPC payloads: the next shard is *reachable*, which is
+    exactly what the prefetcher needs (PROXIES.md).  Returns the head
+    reference and the objects in chain order.
+    """
+    objs = []
+    for partition in model.partitions:
+        image = partition.pack()
+        obj = space.create_object(size=POINTER_BYTES + len(image),
+                                  label=f"{label}-{partition.partition_id}")
+        obj.write(POINTER_BYTES, image)
+        objs.append(obj)
+    for i, obj in enumerate(objs):
+        if i + 1 < len(objs):
+            index = obj.fot.add(objs[i + 1].oid)
+            pointer = InvariantPointer.external(index, 0)
+        else:
+            pointer = InvariantPointer.null()
+        obj.write(0, pointer.to_bytes())
+    return GlobalRef(objs[0].oid, 0, "read"), objs
+
+
+def register_proxied_serving(registry) -> None:
+    """Register ``serve_partition_chain``, the inference E19 entry.
+
+    Walks a :func:`build_partition_chain` chain from ``args['head']`` —
+    a staged :class:`GlobalRef` (eager arm) or an
+    :class:`~repro.core.proxies.ObjectProxy` (``MODE_PROXIED``) — and
+    scores ``args['activation']`` against every partition, spending
+    ``args['work_us']`` of request handling per partition.
+    """
+    if "serve_partition_chain" in registry:
+        return
+
+    def serve_partition_chain(ctx, args):
+        """Score the activation against each partition of the chain;
+        returns {'score', 'partitions'}."""
+        from ..core.proxies import ObjectProxy
+        from ..sim import Timeout
+
+        head = args["head"]
+        activation = Activation(list(args["activation"]))
+        work_us = float(args.get("work_us", 0.0))
+        score = 0.0
+        served = 0
+        if isinstance(head, ObjectProxy):
+            proxy = head
+            while proxy is not None:
+                raw = yield from proxy.read_all()
+                partition = ModelPartition.unpack(raw[POINTER_BYTES:])
+                score += dot_product(partition, activation)
+                served += 1
+                if work_us:
+                    yield Timeout(work_us)
+                next_ref = yield from proxy.follow(0)
+                proxy = ctx.proxy(next_ref) if next_ref is not None else None
+        else:
+            ref = head
+            while ref is not None:
+                header = yield ctx.read(ref, POINTER_BYTES, 8)
+                n_entries = int.from_bytes(header[4:8], "big")
+                image = yield ctx.read(ref, POINTER_BYTES,
+                                       8 + _ENTRY_BYTES * n_entries)
+                partition = ModelPartition.unpack(image)
+                score += dot_product(partition, activation)
+                served += 1
+                if work_us:
+                    yield Timeout(work_us)
+                ref = yield ctx.follow(ref, 0)
+        return {"score": score, "partitions": served}
+
+    registry.register("serve_partition_chain", serve_partition_chain)

@@ -27,7 +27,13 @@ from ..core.refs import GlobalRef
 from ..core.space import ObjectSpace
 from ..core.views import Field, StructLayout
 
-__all__ = ["LIST_NODE", "build_linked_list", "local_traverse", "register_traversal"]
+__all__ = [
+    "LIST_NODE",
+    "build_linked_list",
+    "local_traverse",
+    "register_traversal",
+    "register_proxied_traversal",
+]
 
 # One list record: a next pointer and an inline payload.
 LIST_NODE = StructLayout("list_node", [
@@ -140,3 +146,62 @@ def register_traversal(registry) -> None:
         return {"sum": total, "count": count}
 
     registry.register("traverse_list", traverse_list)
+
+
+def register_proxied_traversal(registry) -> None:
+    """Register ``traverse_list_proxied``, the E19 ablation entry.
+
+    The same pointer walk as ``traverse_list``, but it accepts either a
+    staged :class:`GlobalRef` head (the eager arm) or a lazy
+    :class:`~repro.core.proxies.ObjectProxy` head (``MODE_PROXIED``),
+    and spends a fixed ``work_us`` of compute per record — execution
+    time a reachability prefetch can hide transfers under (PROXIES.md).
+    """
+    if "traverse_list_proxied" in registry:
+        return
+
+    def traverse_list_proxied(ctx, args):
+        """Walk the list from ``args['head']`` (ref or proxy), spending
+        ``args['work_us']`` per record; returns {'sum', 'count'}."""
+        from ..core.pointers import InvariantPointer
+        from ..core.proxies import ObjectProxy
+        from ..sim import Timeout
+
+        head = args["head"]
+        limit = args.get("limit", 1 << 20)
+        work_us = float(args.get("work_us", 0.0))
+        total = 0
+        count = 0
+        if isinstance(head, ObjectProxy):
+            proxy, offset = head, head.ref.offset
+            for _ in range(limit):
+                raw = yield from proxy.read(offset, LIST_NODE.size)
+                total += int.from_bytes(raw[8:16], "big")
+                count += 1
+                if work_us:
+                    yield Timeout(work_us)
+                pointer = InvariantPointer.from_bytes(raw[0:8])
+                if pointer.is_null:
+                    break
+                next_ref = yield from proxy.follow(offset)
+                if next_ref.oid != proxy.oid:
+                    proxy = ctx.proxy(next_ref)
+                offset = next_ref.offset
+        else:
+            ref = head
+            for _ in range(limit):
+                raw = yield ctx.read(ref, 0, LIST_NODE.size)
+                total += int.from_bytes(raw[8:16], "big")
+                count += 1
+                if work_us:
+                    yield Timeout(work_us)
+                pointer = InvariantPointer.from_bytes(raw[0:8])
+                if pointer.is_null:
+                    break
+                if pointer.is_internal:
+                    ref = GlobalRef(ref.oid, pointer.offset, ref.mode)
+                else:
+                    ref = yield ctx.follow(ref, 0)
+        return {"sum": total, "count": count}
+
+    registry.register("traverse_list_proxied", traverse_list_proxied)
