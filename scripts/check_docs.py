@@ -79,6 +79,7 @@ INSTRUMENTED = (
     "memproto/transport.py",
     "memproto/coherence.py",
     "core/proxies.py",
+    "loadgen/generator.py",
 )
 
 # Keys emitted through a named constant rather than a string literal.

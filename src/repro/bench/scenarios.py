@@ -851,3 +851,108 @@ def proxy_prefetch_inference(seed: int, scale: dict) -> ScenarioResult:
     counters = _proxy_arm_counters({}, by_arm)
     return ScenarioResult(ops=3 * scale["partitions"], sim_time_us=total_time,
                           counters=counters)
+
+
+# ---------------------------------------------------------------------------
+# loadgen: open-loop multi-tenant traffic (tail latency under offered load)
+# ---------------------------------------------------------------------------
+
+
+def _loadgen_cluster(seed: int, n_hosts: int, bandwidth_gbps: float):
+    """A star fabric sized so a client link saturates at a few thousand
+    ops/s — the knee the open-loop scenarios drive traffic across."""
+    from repro.net.topology import build_star
+    from repro.runtime.engine import GlobalSpaceRuntime
+    from repro.sim import Simulator
+
+    sim = Simulator(seed=seed)
+    net = build_star(sim, n_hosts, default_bandwidth_gbps=bandwidth_gbps,
+                     default_latency_us=2.0)
+    runtime = GlobalSpaceRuntime(net)
+    for i in range(n_hosts):
+        runtime.add_node(f"h{i}")
+    return sim, runtime
+
+
+@register(
+    "loadgen.zipf_steady",
+    "open-loop Zipf reads/writes swept across the saturation knee",
+    quick={"rates": (2_000, 6_000, 12_000, 24_000), "duration_us": 120_000.0,
+           "hosts": 4, "keyspace": 50_000, "bandwidth_gbps": 0.01},
+    full={"rates": (2_000, 6_000, 12_000, 24_000), "duration_us": 500_000.0,
+          "hosts": 8, "keyspace": 1_000_000, "bandwidth_gbps": 0.01},
+)
+def loadgen_zipf_steady(seed: int, scale: dict) -> ScenarioResult:
+    from repro.loadgen import LoadGenerator, TenantSpec
+
+    counters = {}
+    total_ops = 0
+    total_time = 0.0
+    p999_by_rate = []
+    for rate in scale["rates"]:
+        sim, runtime = _loadgen_cluster(seed, scale["hosts"],
+                                        scale["bandwidth_gbps"])
+        tenant = TenantSpec(
+            name="t0", client="h0", rate_per_sec=float(rate),
+            popularity="zipf", skew=1.0, keyspace=scale["keyspace"],
+            mix=(("load", 0.8), ("store", 0.2)), max_outstanding=512)
+        report = LoadGenerator(runtime, [tenant],
+                               duration_us=scale["duration_us"]).run()
+        tr = report.tenants["t0"]
+        prefix = f"rate{rate}."
+        counters[prefix + "offered"] = tr.offered
+        counters[prefix + "completed"] = tr.completed
+        counters[prefix + "dropped"] = tr.dropped
+        counters[prefix + "p50_us"] = int(round(tr.percentile(50)))
+        counters[prefix + "p99_us"] = int(round(tr.percentile(99)))
+        counters[prefix + "p999_us"] = int(round(tr.percentile(99.9)))
+        p999_by_rate.append(tr.percentile(99.9))
+        total_ops += tr.completed
+        total_time += sim.now
+    # The open-loop signature: as offered rate crosses the link's
+    # capacity, the tail can only get worse — and past the knee it is
+    # catastrophically worse, not marginally.
+    assert all(a <= b for a, b in zip(p999_by_rate, p999_by_rate[1:])), (
+        f"p999 not monotone across offered rates: {p999_by_rate}")
+    assert p999_by_rate[-1] > 5 * p999_by_rate[0], (
+        f"no saturation signature: p999 {p999_by_rate[0]} -> {p999_by_rate[-1]}")
+    return ScenarioResult(ops=total_ops, sim_time_us=total_time,
+                          counters=counters)
+
+
+@register(
+    "loadgen.multitenant_mix",
+    "three tenants (skews, rates, op mixes) sharing one fabric",
+    quick={"duration_us": 120_000.0, "hosts": 6, "scale_rate": 1.0},
+    full={"duration_us": 500_000.0, "hosts": 6, "scale_rate": 1.0},
+)
+def loadgen_multitenant_mix(seed: int, scale: dict) -> ScenarioResult:
+    from repro.loadgen import LoadGenerator, TenantSpec
+
+    sim, runtime = _loadgen_cluster(seed, scale["hosts"], 0.05)
+    r = scale["scale_rate"]
+    tenants = [
+        # A read-heavy tenant with a hot Zipf head: the aggressor.
+        TenantSpec(name="hot", client="h0", rate_per_sec=4_000.0 * r,
+                   popularity="zipf", skew=1.2, keyspace=100_000,
+                   mix=(("load", 0.9), ("store", 0.1))),
+        # A mobile-code tenant mixing all four op kinds.
+        TenantSpec(name="mixed", client="h1", rate_per_sec=1_200.0 * r,
+                   popularity="zipf", skew=0.9, keyspace=10_000,
+                   mix=(("load", 0.4), ("store", 0.2), ("invoke", 0.3),
+                        ("proxied_invoke", 0.1)), flops=1e5),
+        # A metronome tenant over a heavy-tailed Pareto keyspace.
+        TenantSpec(name="tail", client="h2", rate_per_sec=800.0 * r,
+                   arrival="deterministic", popularity="pareto", skew=1.1,
+                   keyspace=1_000_000, mix=(("load", 1.0),)),
+    ]
+    report = LoadGenerator(runtime, tenants,
+                           duration_us=scale["duration_us"]).run()
+    total_completed = 0
+    for name, tr in report.tenants.items():
+        assert tr.offered == tr.completed + tr.dropped + tr.failed, (
+            f"tenant {name}: op accounting does not balance")
+        assert tr.completed > 0, f"tenant {name} completed nothing"
+        total_completed += tr.completed
+    return ScenarioResult(ops=total_completed, sim_time_us=sim.now,
+                          counters=report.counters())

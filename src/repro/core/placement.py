@@ -161,8 +161,10 @@ class PlacementEngine:
         request: PlacementRequest,
         node: NodeProfile,
         distance: DistanceFn,
+        items: Optional[Tuple[PlacementItem, ...]] = None,
     ) -> Optional[PlacementDecision]:
-        items = (request.code,) + request.inputs
+        if items is None:
+            items = (request.code,) + request.inputs
         movements: List[MovementPlan] = []
         staged_bytes = 0
         stage_in_us = 0.0
@@ -218,11 +220,14 @@ class PlacementEngine:
             raise PlacementError("no candidate nodes supplied")
         best: Optional[PlacementDecision] = None
         considered: Dict[str, float] = {}
+        # The item tuple is candidate-invariant; build it once, not per
+        # evaluated node (open-loop load makes decide() a hot path).
+        items = (request.code,) + request.inputs
         for node in candidates:
             if not node.can_execute:
                 self.tracer.count("placement.rejected")
                 continue
-            decision = self._evaluate(request, node, distance)
+            decision = self._evaluate(request, node, distance, items)
             if decision is None:
                 self.tracer.count("placement.rejected")
                 continue

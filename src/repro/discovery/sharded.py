@@ -91,12 +91,19 @@ class ShardMap:
     IDs that shard owned.
     """
 
+    # Rankings memoized per ObjectID; the map is immutable, so entries
+    # never go stale.  Bounded so a multi-million-object run cannot grow
+    # without limit: on overflow the whole memo resets (deterministic —
+    # no eviction order to get wrong), and hot IDs simply re-memoize.
+    CACHE_LIMIT = 1 << 16
+
     def __init__(self, shards: Sequence[str]):
         if not shards:
             raise DiscoveryError("a shard map needs at least one shard")
         if len(set(shards)) != len(shards):
             raise DiscoveryError("duplicate shard names in shard map")
         self.shards: Tuple[str, ...] = tuple(shards)
+        self._ranked_cache: Dict[ObjectID, Tuple[str, ...]] = {}
 
     @staticmethod
     def _score(oid: ObjectID, shard: str) -> int:
@@ -106,14 +113,25 @@ class ShardMap:
         return int.from_bytes(digest, "big")
 
     def ranked(self, oid: ObjectID) -> Tuple[str, ...]:
-        """All shards, highest rendezvous score first (the failover order)."""
-        return tuple(sorted(
-            self.shards, key=lambda shard: self._score(oid, shard),
-            reverse=True))
+        """All shards, highest rendezvous score first (the failover order).
+
+        Memoized: every resolve and advertisement ranks its ID, so the
+        O(shards) digest-and-sort was the directory plane's hot-path
+        scan under open-loop load.
+        """
+        cached = self._ranked_cache.get(oid)
+        if cached is None:
+            cached = tuple(sorted(
+                self.shards, key=lambda shard: self._score(oid, shard),
+                reverse=True))
+            if len(self._ranked_cache) >= self.CACHE_LIMIT:
+                self._ranked_cache.clear()
+            self._ranked_cache[oid] = cached
+        return cached
 
     def shard_of(self, oid: ObjectID) -> str:
         """The shard owning ``oid``'s directory entry."""
-        return max(self.shards, key=lambda shard: self._score(oid, shard))
+        return self.ranked(oid)[0]
 
     def successor(self, oid: ObjectID, after: str) -> str:
         """The next shard in ``oid``'s failover order after ``after``."""

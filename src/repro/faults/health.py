@@ -17,7 +17,7 @@ alive; suspicion is a guess, not a verdict).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional, Set
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
 
 from ..obs.keys import K_HEALTH_CLEARED, K_HEALTH_SUSPECTED
 from ..sim import Tracer
@@ -41,17 +41,33 @@ class HealthLedger:
         self.suspect_penalty_jobs = suspect_penalty_jobs
         self.tracer = tracer if tracer is not None else Tracer()
         self._suspect_until: Dict[str, float] = {}
+        self._listeners: List[Callable[[str], None]] = []
+
+    def add_listener(self, fn: Callable[[str], None]) -> None:
+        """Call ``fn(node)`` on every suspicion-state transition.
+
+        This is what lets consumers (the runtime's live-profile cache)
+        maintain derived state incrementally instead of re-querying the
+        ledger per placement decision.
+        """
+        self._listeners.append(fn)
+
+    def _notify(self, node: str) -> None:
+        for fn in self._listeners:
+            fn(node)
 
     # -- state transitions -------------------------------------------------
     def suspect(self, node: str) -> None:
         """Mark ``node`` suspected until now + TTL (timeouts land here)."""
         self._suspect_until[node] = self.sim.now + self.suspicion_ttl_us
         self.tracer.count(K_HEALTH_SUSPECTED)
+        self._notify(node)
 
     def clear(self, node: str) -> None:
         """Clear suspicion of ``node`` (a reply proves it is alive)."""
         if self._suspect_until.pop(node, None) is not None:
             self.tracer.count(K_HEALTH_CLEARED)
+            self._notify(node)
 
     # -- queries -----------------------------------------------------------
     def is_suspected(self, node: str) -> bool:
@@ -68,6 +84,16 @@ class HealthLedger:
         """Names of every currently suspected node."""
         return {name for name in list(self._suspect_until)
                 if self.is_suspected(name)}
+
+    def suspicion_expiry(self, node: str) -> Optional[float]:
+        """Sim time when ``node``'s current suspicion lapses on its own
+        (``None`` when not suspected).  TTL expiry fires no listener —
+        nothing *happens* at that instant — so cached views use this
+        horizon to know when their entry goes stale by time alone."""
+        until = self._suspect_until.get(node)
+        if until is None or self.sim.now >= until:
+            return None
+        return until
 
     def penalty_jobs(self, node: str) -> int:
         """Queue-depth surcharge placement folds into a node's profile."""

@@ -1,0 +1,30 @@
+"""Open-loop multi-tenant traffic generation (ISSUE 7).
+
+The package that pushes the runtime past its comfort zone: arrival
+processes (:mod:`~repro.loadgen.arrivals`) schedule operations from a
+clock rather than from completions, popularity samplers
+(:mod:`~repro.loadgen.popularity`) skew them over keyspaces of up to a
+million ObjectIds, and the fixed-bucket latency histogram
+(:mod:`~repro.loadgen.histogram`) keeps p50/p99/p999 per tenant and per
+op without per-op list growth.  :class:`~repro.loadgen.generator.LoadGenerator`
+ties it together; the ``loadgen.*`` bench scenarios and obs keys report
+the results.
+"""
+
+from .arrivals import (ArrivalProcess, DeterministicArrivals,
+                       PoissonArrivals, make_arrivals)
+from .generator import (LOADGEN_ENTRY, OPS, LoadGenerator, LoadReport,
+                        TenantReport, TenantSpec, register_loadgen_touch)
+from .histogram import LatencyHistogram
+from .popularity import (ParetoSampler, PopularitySampler, UniformSampler,
+                         ZipfSampler, make_popularity)
+
+__all__ = [
+    "ArrivalProcess", "PoissonArrivals", "DeterministicArrivals",
+    "make_arrivals",
+    "PopularitySampler", "ZipfSampler", "ParetoSampler", "UniformSampler",
+    "make_popularity",
+    "LatencyHistogram",
+    "OPS", "LOADGEN_ENTRY", "TenantSpec", "TenantReport", "LoadReport",
+    "LoadGenerator", "register_loadgen_touch",
+]

@@ -1,0 +1,87 @@
+"""Arrival processes for open-loop load generation.
+
+Closed-loop drivers (every scenario before this package) issue the next
+operation only after the previous one completes, so the system can never
+be pushed past saturation — offered load adapts to service rate.  An
+**open-loop** driver schedules arrivals from a clock, regardless of how
+many operations are still in flight: when the offered rate crosses the
+fabric's capacity, queues grow and the tail (p99/p999) degrades, which
+is exactly the regime the paper's datacenter-scale claims live in.
+
+Two processes cover the standard methodology:
+
+* :class:`PoissonArrivals` — exponential inter-arrival gaps (memoryless,
+  the datacenter default; bursts arise naturally);
+* :class:`DeterministicArrivals` — a fixed gap (isolates queueing from
+  arrival variance; useful for calibrating saturation points).
+
+Gaps are drawn from a caller-supplied ``random.Random`` so the whole
+run stays a pure function of the simulator seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+__all__ = ["ArrivalProcess", "PoissonArrivals", "DeterministicArrivals",
+           "make_arrivals"]
+
+
+class ArrivalProcess:
+    """Base: a rate plus an inter-arrival gap stream (microseconds)."""
+
+    kind = "abstract"
+
+    def __init__(self, rate_per_sec: float):
+        if rate_per_sec <= 0:
+            raise ValueError("arrival rate must be positive")
+        self.rate_per_sec = float(rate_per_sec)
+
+    @property
+    def mean_gap_us(self) -> float:
+        """Mean inter-arrival gap implied by the rate."""
+        return 1e6 / self.rate_per_sec
+
+    def gaps(self, rng: random.Random) -> Iterator[float]:
+        """Endless stream of inter-arrival gaps in µs."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.rate_per_sec:g}/s>"
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Exponential gaps: a Poisson arrival process at ``rate_per_sec``."""
+
+    kind = "poisson"
+
+    def gaps(self, rng: random.Random) -> Iterator[float]:
+        scale = self.mean_gap_us
+        while True:
+            yield rng.expovariate(1.0) * scale
+
+
+class DeterministicArrivals(ArrivalProcess):
+    """A metronome: every gap is exactly the mean gap."""
+
+    kind = "deterministic"
+
+    def gaps(self, rng: random.Random) -> Iterator[float]:
+        gap = self.mean_gap_us
+        while True:
+            yield gap
+
+
+_ARRIVALS = {cls.kind: cls for cls in (PoissonArrivals, DeterministicArrivals)}
+
+
+def make_arrivals(kind: str, rate_per_sec: float) -> ArrivalProcess:
+    """Build the named arrival process (``poisson``/``deterministic``)."""
+    try:
+        cls = _ARRIVALS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown arrival process {kind!r} "
+            f"(have: {', '.join(sorted(_ARRIVALS))})") from None
+    return cls(rate_per_sec)

@@ -365,6 +365,27 @@ VOCABULARY: Tuple[KeySpec, ...] = (
        "invalidation."),
     _k("prefetch.depth_truncated", "counter", "1",
        "Walks cut short by a depth or object budget with reachable work left."),
+    # ---- loadgen.* (tracer `workloads.loadgen.<tenant>`; the open-loop
+    # traffic generator, per tenant)
+    _k("loadgen.offered", "counter", "1",
+       "Operations the tenant's open-loop arrival clock generated."),
+    _k("loadgen.completed", "counter", "1",
+       "Offered operations that ran to completion."),
+    _k("loadgen.dropped", "counter", "1",
+       "Arrivals shed client-side at the tenant's outstanding cap "
+       "(the open-loop safety valve past saturation)."),
+    _k("loadgen.failed", "counter", "1",
+       "Operations that errored (e.g. an invoke retry budget exhausted "
+       "under overload)."),
+    _k("loadgen.materialized", "counter", "1",
+       "Keyspace ranks lazily materialized as objects on first touch."),
+    _k("loadgen.p50_us.*", "series", "µs",
+       "Median arrival-to-completion latency per op kind "
+       "(suffix `all` spans every op)."),
+    _k("loadgen.p99_us.*", "series", "µs",
+       "99th-percentile arrival-to-completion latency per op kind."),
+    _k("loadgen.p999_us.*", "series", "µs",
+       "99.9th-percentile arrival-to-completion latency per op kind."),
 )
 
 

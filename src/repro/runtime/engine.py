@@ -183,6 +183,12 @@ class GlobalSpaceRuntime:
                               replace=True)
         self.nodes: Dict[str, ClusterNode] = {}
         self._base_profiles: Dict[str, NodeProfile] = {}
+        # Incrementally maintained live-profile view (see live_profiles):
+        # entries are invalidated by active_jobs writes and health
+        # transitions, and carry a validity horizon for TTL expiry.
+        self._profile_cache: Dict[str, NodeProfile] = {}
+        self._profile_valid_until: Dict[str, float] = {}
+        self.health.add_listener(self._invalidate_profile)
         self.locations: Dict[ObjectID, Set[str]] = {}
         self._locator: Optional[Callable[[ObjectID, str], Optional[str]]] = None
         self._sizes: Dict[ObjectID, int] = {}
@@ -369,19 +375,43 @@ class GlobalSpaceRuntime:
         with their queue depth inflated by the suspicion penalty, so
         placement steers new work away from them without hard-excluding
         the only feasible candidate.
+
+        Profiles are served from an incrementally maintained cache:
+        ``active_jobs`` writes and health transitions invalidate a
+        node's entry, and a suspicion-penalized entry carries the
+        suspicion's expiry as its validity horizon (TTL lapse changes
+        the profile without any event firing).  Under open-loop load
+        the former O(hosts) rebuild per decision dominated profiles.
         """
         names = list(candidates) if candidates is not None else list(self.nodes)
-        profiles = []
-        for name in names:
-            base = self._base_profiles[name]
-            profiles.append(NodeProfile(
-                name=base.name, speed=base.speed,
-                active_jobs=(self.nodes[name].active_jobs
-                             + self.health.penalty_jobs(name)),
-                capacity_bytes=base.capacity_bytes,
-                can_execute=base.can_execute,
-            ))
-        return profiles
+        return [self._live_profile(name) for name in names]
+
+    def _invalidate_profile(self, name: str) -> None:
+        """Drop ``name``'s cached live profile (queue/health changed)."""
+        self._profile_cache.pop(name, None)
+
+    def _compute_profile(self, name: str) -> NodeProfile:
+        """Uncached live profile of one node — the cache's ground truth
+        (the regression test compares cached against this directly)."""
+        base = self._base_profiles[name]
+        return NodeProfile(
+            name=base.name, speed=base.speed,
+            active_jobs=(self.nodes[name].active_jobs
+                         + self.health.penalty_jobs(name)),
+            capacity_bytes=base.capacity_bytes,
+            can_execute=base.can_execute,
+        )
+
+    def _live_profile(self, name: str) -> NodeProfile:
+        cached = self._profile_cache.get(name)
+        if cached is not None and self.sim.now < self._profile_valid_until[name]:
+            return cached
+        profile = self._compute_profile(name)
+        self._profile_cache[name] = profile
+        expiry = self.health.suspicion_expiry(name)
+        self._profile_valid_until[name] = (
+            float("inf") if expiry is None else expiry)
+        return profile
 
     def _placement_item(self, ref: GlobalRef, scale: float = 1.0,
                         pinned: bool = False) -> PlacementItem:

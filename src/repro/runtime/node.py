@@ -146,7 +146,7 @@ class ClusterNode:
         self.space = space
         self.tracer = tracer or Tracer()
         self.request_timeout_us = request_timeout_us
-        self.active_jobs = 0
+        self._active_jobs = 0
         self._pending: Dict[int, Future] = {}
         # Lazy-proxy table (PROXIES.md): one per node, shared by every
         # invocation that executes here, so prefetched images survive
@@ -166,6 +166,18 @@ class ClusterNode:
     def name(self) -> str:
         """The node's host name."""
         return self.host.name
+
+    @property
+    def active_jobs(self) -> int:
+        """Live execution-queue depth on this node."""
+        return self._active_jobs
+
+    @active_jobs.setter
+    def active_jobs(self, value: int) -> None:
+        # Writes flow through the runtime's live-profile cache so
+        # placement sees queue changes without rescanning every host.
+        self._active_jobs = value
+        self.runtime._invalidate_profile(self.name)
 
     # -- request/reply plumbing --------------------------------------------
     def _new_future(self) -> tuple:

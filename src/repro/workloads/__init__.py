@@ -14,7 +14,8 @@ from .inference import (
     write_partition_object,
 )
 from .kvstore import ObjectKVClient, ObjectKVService, RpcKVClient, RpcKVService
-from .patterns import hot_cold, sequential_sweep, uniform, zipf, zipf_weights
+from .patterns import (hot_cold, pareto, sequential_sweep, uniform, zipf,
+                       zipf_weights)
 from .scenario import STRATEGIES, Scenario, StrategyResult, build_scenario, run_strategy
 from .traversal import (
     LIST_NODE,
@@ -52,6 +53,7 @@ __all__ = [
     "uniform",
     "zipf",
     "zipf_weights",
+    "pareto",
     "hot_cold",
     "sequential_sweep",
 ]

@@ -6,7 +6,8 @@ from collections import Counter
 
 import pytest
 
-from repro.workloads import hot_cold, sequential_sweep, uniform, zipf, zipf_weights
+from repro.workloads import (hot_cold, pareto, sequential_sweep, uniform,
+                             zipf, zipf_weights)
 
 
 def take(iterator, n):
@@ -82,6 +83,31 @@ class TestHotCold:
             next(hot_cold([1], rng, hot_fraction=0.0))
         with pytest.raises(ValueError):
             next(hot_cold([1], rng, hot_probability=1.5))
+
+
+class TestPareto:
+    def test_head_is_hottest_and_range_respected(self):
+        rng = random.Random(12)
+        items = list(range(1_000))
+        picks = take(pareto(items, rng, alpha=1.1), 20_000)
+        counts = Counter(picks)
+        assert set(picks) <= set(items)
+        assert counts[0] == max(counts.values())
+        assert counts[0] / len(picks) > 0.3
+        assert max(picks) > 50  # the tail is genuinely used
+
+    def test_deterministic_for_a_seed(self):
+        items = list(range(100))
+        a = take(pareto(items, random.Random(5), alpha=1.3), 500)
+        b = take(pareto(items, random.Random(5), alpha=1.3), 500)
+        assert a == b
+
+    def test_validation(self):
+        rng = random.Random(8)
+        with pytest.raises(ValueError):
+            next(pareto([], rng))
+        with pytest.raises(ValueError):
+            next(pareto([1], rng, alpha=0.0))
 
 
 class TestSequentialSweep:
