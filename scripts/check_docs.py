@@ -80,6 +80,8 @@ INSTRUMENTED = (
     "memproto/coherence.py",
     "core/proxies.py",
     "loadgen/generator.py",
+    "pubsub/fabric.py",
+    "pubsub/bus.py",
 )
 
 # Keys emitted through a named constant rather than a string literal.

@@ -14,7 +14,8 @@ Tenancy model
 -------------
 A :class:`TenantSpec` gives each tenant its own client node, offered
 rate, arrival process, popularity skew, keyspace size, and op mix over
-``load`` / ``store`` / ``invoke`` / ``proxied_invoke``.  Tenants share
+``load`` / ``store`` / ``invoke`` / ``proxied_invoke`` / ``publish``
+(event-bus publication, for generators built with ``bus=``).  Tenants share
 the fabric and the object hosts, so one tenant's hot keys genuinely
 crowd another's traffic — the interference that fairness claims have to
 survive.
@@ -57,7 +58,7 @@ __all__ = ["OPS", "LOADGEN_ENTRY", "TenantSpec", "TenantReport",
            "LoadReport", "LoadGenerator", "register_loadgen_touch"]
 
 # The op kinds a tenant mix may weight.
-OPS = ("load", "store", "invoke", "proxied_invoke")
+OPS = ("load", "store", "invoke", "proxied_invoke", "publish")
 
 # Registry entry for the mobile-code op kinds.
 LOADGEN_ENTRY = "loadgen_touch"
@@ -116,6 +117,8 @@ class TenantSpec:
     write_bytes: int = 64
     flops: float = 2e5
     max_outstanding: int = 256
+    publish_field: str = "kind"
+    publish_bytes: int = 64
 
     def __post_init__(self):
         if not self.name:
@@ -138,6 +141,11 @@ class TenantSpec:
         """True when the mix can issue a mobile-code op."""
         return any(op in ("invoke", "proxied_invoke") and weight > 0
                    for op, weight in self.mix)
+
+    @property
+    def wants_publish(self) -> bool:
+        """True when the mix can issue an event-bus publish."""
+        return any(op == "publish" and weight > 0 for op, weight in self.mix)
 
 
 @dataclass
@@ -213,7 +221,7 @@ class _TenantState:
     __slots__ = ("spec", "rng", "arrivals", "popularity", "homes", "tracer",
                  "code_ref", "ops", "cum_weights", "total_weight", "refs",
                  "inflight", "offered", "completed", "dropped", "failed",
-                 "materialized", "overall", "by_op")
+                 "materialized", "overall", "by_op", "topic", "field_mod")
 
     def __init__(self, spec: TenantSpec, rng: random.Random,
                  homes: List[str], tracer,
@@ -235,6 +243,8 @@ class _TenantState:
             self.cum_weights.append(acc)
         self.total_weight = acc
         self.refs: Dict[int, GlobalRef] = {}
+        self.topic = None
+        self.field_mod = 1
         self.inflight = 0
         self.offered = 0
         self.completed = 0
@@ -264,13 +274,15 @@ class LoadGenerator:
     def __init__(self, runtime, tenants: Iterable[TenantSpec],
                  duration_us: float, *, object_bytes: int = 256,
                  hist_min_us: float = 1.0, hist_max_us: float = 60e6,
-                 subbuckets: int = 32):
+                 subbuckets: int = 32, bus=None, topics=None):
         if duration_us <= 0:
             raise ValueError("duration_us must be positive")
         self.runtime = runtime
         self.sim = runtime.sim
         self.duration_us = float(duration_us)
         self.object_bytes = int(object_bytes)
+        self.bus = bus
+        topics = topics or {}
         specs = list(tenants)
         if not specs:
             raise ValueError("need at least one tenant")
@@ -296,6 +308,16 @@ class LoadGenerator:
                 _, state.code_ref = runtime.create_code(
                     spec.client, LOADGEN_ENTRY, text_size=512,
                     label=f"loadgen-{spec.name}")
+            if spec.wants_publish:
+                if bus is None:
+                    raise ValueError(f"tenant {spec.name!r} publishes but no "
+                                     "bus= was given")
+                if spec.name not in topics:
+                    raise ValueError(f"tenant {spec.name!r} publishes but "
+                                     "topics= has no topic for it")
+                state.topic = topics[spec.name]
+                field = bus.fabric.format.field(spec.publish_field)
+                state.field_mod = field.max_value + 1
             self._states.append(state)
 
     # -- driving --------------------------------------------------------------
@@ -334,9 +356,11 @@ class LoadGenerator:
             state.dropped += 1
             state.tracer.count("loadgen.dropped")
             return
-        ref = self._ref_for(state, rank)
+        # Publish ops address a topic, not the object keyspace; the rank
+        # draw above still happens so mixes stay RNG-stream-compatible.
+        ref = None if op == "publish" else self._ref_for(state, rank)
         state.inflight += 1
-        self.sim.spawn(self._run_op(state, op, ref),
+        self.sim.spawn(self._run_op(state, op, ref, rank),
                        name=f"loadgen-op-{state.spec.name}")
 
     def _ref_for(self, state: _TenantState, rank: int) -> GlobalRef:
@@ -359,7 +383,8 @@ class LoadGenerator:
         return ref
 
     # -- op kinds -------------------------------------------------------------
-    def _run_op(self, state: _TenantState, op: str, ref: GlobalRef):
+    def _run_op(self, state: _TenantState, op: str,
+                ref: Optional[GlobalRef], rank: int):
         """Process: one operation, timed arrival-to-completion."""
         start = self.sim.now
         try:
@@ -367,6 +392,8 @@ class LoadGenerator:
                 yield from self._do_load(state, ref)
             elif op == "store":
                 yield from self._do_store(state, ref)
+            elif op == "publish":
+                yield from self._do_publish(state, rank)
             else:
                 yield from self._do_invoke(state, ref, proxied=(
                     op == "proxied_invoke"))
@@ -402,6 +429,23 @@ class LoadGenerator:
             node.space.get(ref.oid).write(0, data)
         else:
             yield from node.remote_write(ref.oid, 0, data)
+
+    def _do_publish(self, state: _TenantState, rank: int):
+        """One event onto the tenant's topic, paced by consumer credit.
+
+        Under the bus's ``block`` overflow policy a full publisher
+        buffer hands back a future; the op's latency then includes the
+        credit stall, which is exactly the backpressure signal the
+        fan-out scenarios measure.
+        """
+        fields = {state.spec.publish_field: rank % state.field_mod}
+        payload = bytes(state.spec.publish_bytes)
+        future = self.bus.publish(state.spec.client, state.topic,
+                                  fields, payload)
+        if future is not None:
+            yield future
+        else:
+            yield Timeout(0.0)
 
     def _do_invoke(self, state: _TenantState, ref: GlobalRef, proxied: bool):
         from ..runtime.engine import MODE_EAGER, MODE_PROXIED

@@ -138,6 +138,9 @@ VOCABULARY: Tuple[KeySpec, ...] = (
     _k("node.write_denied", "counter", "1",
        "Write requests refused by the ACL."),
     _k("node.remote_write", "counter", "1", "Remote writes completed."),
+    _k("node.isolated_claim", "counter", "1",
+       "Objects claimed for exclusive ownership by an isolated-mode "
+       "invocation before its compute window."),
     # ---- health.* (tracer `runtime.health`) ---------------------------------
     _k("health.suspected", "counter", "1",
        "Nodes marked suspected-dead after an invocation deadline."),
@@ -386,6 +389,41 @@ VOCABULARY: Tuple[KeySpec, ...] = (
        "99th-percentile arrival-to-completion latency per op kind."),
     _k("loadgen.p999_us.*", "series", "µs",
        "99.9th-percentile arrival-to-completion latency per op kind."),
+    # ---- pubsub.* (the identity-routed pub/sub fabric's tracer) -------------
+    _k("pubsub.subscribed", "counter", "1",
+       "Subscriptions installed (identity route programmed per topic)."),
+    _k("pubsub.published", "counter", "1", "Publications sent into the fabric."),
+    _k("pubsub.delivered", "counter", "1",
+       "Publication deliveries to matching subscription handlers."),
+    _k("pubsub.residual_filtered", "counter", "1",
+       "Deliveries dropped host-side by a residual predicate miss."),
+    _k("pubsub.install_failed", "counter", "1",
+       "Identity-route installs the switch rejected (table full)."),
+    _k("pubsub.no_route", "counter", "1",
+       "Publications with no subscription anywhere on the topic "
+       "(published before the first subscribe or after the last one left)."),
+    _k("pubsub.dead_route_pruned", "counter", "1",
+       "Topic routes rewritten to exclude a suspected-dead subscriber host."),
+    # ---- bus.* (the event bus's tracer; `bus.rejected` is recorded on the
+    # executor node's tracer by the admission gate)
+    _k("bus.published", "counter", "1", "Events accepted from publishers."),
+    _k("bus.delivered", "counter", "1",
+       "Events handed to a bus subscriber's handler (once per subscriber)."),
+    _k("bus.redelivered", "counter", "1",
+       "At-least-once retransmissions by the redelivery timer."),
+    _k("bus.deduped", "counter", "1",
+       "Duplicate deliveries suppressed by consumer-side sequence tracking."),
+    _k("bus.acked", "counter", "1",
+       "At-least-once events retired by cumulative acks from every "
+       "pending subscriber."),
+    _k("bus.shed", "counter", "1",
+       "Events dropped: publisher buffer overflow under a drop policy, "
+       "or a redelivery budget exhausted."),
+    _k("bus.rejected", "counter", "1",
+       "Invocation attempts refused by a node's admission budget."),
+    _k("bus.credit_stall", "counter", "1",
+       "Publishes that could not transmit immediately for lack of "
+       "consumer credit (buffered, blocked, or shed)."),
 )
 
 

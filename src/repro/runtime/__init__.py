@@ -3,14 +3,20 @@ rendezvous invocation engine — the paper's headline programming model."""
 
 from .engine import (
     MODE_EAGER,
+    MODE_ISOLATED,
     MODE_LAZY,
     MODE_PROXIED,
     GlobalSpaceRuntime,
     InvokeResult,
     InvokeTimeout,
+    ReservationTable,
     RetryPolicy,
 )
 from .node import (
+    PRIORITY_HIGH,
+    PRIORITY_NORMAL,
+    AdmissionPolicy,
+    AdmissionRejected,
     ClusterNode,
     ExecutionContext,
     FetchTimeout,
@@ -20,6 +26,12 @@ from .node import (
 from .plan import Plan, PlanResult, PlanStep, run_plan
 
 __all__ = [
+    "AdmissionPolicy",
+    "AdmissionRejected",
+    "ReservationTable",
+    "PRIORITY_NORMAL",
+    "PRIORITY_HIGH",
+    "MODE_ISOLATED",
     "GlobalSpaceRuntime",
     "InvokeResult",
     "InvokeTimeout",

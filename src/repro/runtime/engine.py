@@ -50,27 +50,44 @@ from ..obs.keys import (
     SPAN_RETURN,
 )
 from ..obs.span import SpanRecorder
-from ..sim import AnyOf, Simulator, Timeout, Tracer
+from ..sim import AnyOf, Process, Resource, Simulator, Timeout, Tracer
 from ..net.packet import Packet
 from ..net.topology import Network
 from ..rpc.serializer import decode, encode
 from . import messages as m
-from .node import ClusterNode, FetchTimeout, RuntimeError_
+from .node import (
+    PRIORITY_HIGH,
+    PRIORITY_NORMAL,
+    PRIORITIES,
+    AdmissionPolicy,
+    AdmissionRejected,
+    ClusterNode,
+    FetchTimeout,
+    RuntimeError_,
+)
 
 __all__ = [
+    "AdmissionPolicy",
+    "AdmissionRejected",
     "GlobalSpaceRuntime",
     "InvokeResult",
     "InvokeTimeout",
     "RetryPolicy",
     "MODE_EAGER",
+    "MODE_ISOLATED",
     "MODE_LAZY",
     "MODE_PROXIED",
+    "PRIORITY_HIGH",
+    "PRIORITY_NORMAL",
 ]
 
 MODE_EAGER = "eager"      # stage every input object at the executor up front
 MODE_LAZY = "lazy"        # stage only the code; data moves on demand
 MODE_PROXIED = "proxied"  # stage only the code; bind args as lazy proxies
                           # (optionally covered by a reachability prefetch)
+MODE_ISOLATED = "isolated"  # eager staging + up-front object-set
+                            # reservation and ownership claim: execute
+                            # with no interleaved invalidation
 
 
 class InvokeTimeout(RuntimeError_):
@@ -124,11 +141,44 @@ class _AttemptFailed(Exception):
     poisoning its health record.
     """
 
-    def __init__(self, executor: str, reason: str, suspect: bool = True):
+    def __init__(self, executor: str, reason: str, suspect: bool = True,
+                 retry_after_us: Optional[float] = None,
+                 admission: bool = False):
         super().__init__(reason)
         self.executor = executor
         self.reason = reason
         self.suspect = suspect
+        self.retry_after_us = retry_after_us
+        self.admission = admission
+
+
+class ReservationTable:
+    """Canonical-order object locks for ``MODE_ISOLATED`` invocations.
+
+    Each object gets a one-slot :class:`~repro.sim.Resource`; callers
+    acquire their whole object set in sorted-oid order (so two
+    invocations over overlapping sets serialize instead of deadlocking)
+    and release in reverse.  This is per-object-set reservation, not a
+    global lock: disjoint isolated invocations proceed concurrently.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._locks: Dict[ObjectID, Resource] = {}
+
+    def acquire(self, oids: Iterable[ObjectID]):
+        """Process: take every lock, in the caller-provided (canonical)
+        order, waiting FIFO behind current holders."""
+        for oid in oids:
+            lock = self._locks.get(oid)
+            if lock is None:
+                lock = Resource(self.sim, 1, name=f"resv-{oid.short()}")
+                self._locks[oid] = lock
+            yield lock.acquire()
+
+    def release(self, oids: Iterable[ObjectID]) -> None:
+        for oid in reversed(list(oids)):
+            self._locks[oid].release()
 
 
 @dataclass
@@ -193,16 +243,23 @@ class GlobalSpaceRuntime:
         self._locator: Optional[Callable[[ObjectID, str], Optional[str]]] = None
         self._sizes: Dict[ObjectID, int] = {}
         self._invoke_ids = iter(range(1, 1 << 62))
+        # MODE_ISOLATED object-set reservations (interference freedom).
+        self.reservations = ReservationTable(self.sim)
 
     # -- cluster construction ------------------------------------------------
     def add_node(self, host_name: str, speed: float = 1.0,
-                 capacity_bytes: int = 1 << 40, can_execute: bool = True) -> ClusterNode:
-        """Join the host named ``host_name`` to the global space."""
+                 capacity_bytes: int = 1 << 40, can_execute: bool = True,
+                 admission: Optional[AdmissionPolicy] = None) -> ClusterNode:
+        """Join the host named ``host_name`` to the global space.
+
+        ``admission`` (optional) bounds the node's concurrent inflight
+        executions — see :class:`AdmissionPolicy`; without it the node
+        admits everything, exactly as before."""
         if host_name in self.nodes:
             raise RuntimeError_(f"node {host_name!r} already added")
         host = self.network.host(host_name)
         space = ObjectSpace(self.allocator, host_name=host_name)
-        node = ClusterNode(self, host, space)
+        node = ClusterNode(self, host, space, admission=admission)
         self.nodes[host_name] = node
         self.metrics.register(f"runtime.node.{host_name}", node.tracer,
                               replace=True)
@@ -434,7 +491,8 @@ class GlobalSpaceRuntime:
                decode_args: Iterable[str] = (),
                materialize_result: bool = False,
                retry: Optional[RetryPolicy] = None,
-               prefetch=None):
+               prefetch=None,
+               priority: str = PRIORITY_NORMAL):
         """Process: run the code behind ``code_ref`` against ``data_refs``.
 
         ``mode`` picks the data-movement strategy: ``MODE_EAGER`` stages
@@ -445,6 +503,18 @@ class GlobalSpaceRuntime:
         :class:`~repro.core.proxies.PrefetchBudget`) to additionally
         start a FOT reachability walk from the arguments so reachable
         objects stream in concurrently with execution (PROXIES.md).
+        ``MODE_ISOLATED`` stages eagerly, then reserves the invocation's
+        object set up front and claims ownership of every input, so the
+        execution sees no interleaved invalidation (pair with
+        :meth:`invoke_async` for wait-by-necessity).
+
+        ``priority`` (``PRIORITY_NORMAL`` / ``PRIORITY_HIGH``) is the
+        admission class presented to executors that run an
+        :class:`AdmissionPolicy`: high-priority work may use reserved
+        budget slots that normal work cannot.  When every candidate
+        sheds the invocation at admission, the typed
+        :class:`AdmissionRejected` (with the executors' retry-after
+        hint) surfaces instead of :class:`InvokeTimeout`.
 
         ``pinned`` names data arguments that may not be moved off their
         current host (privacy/local-only constraints — such inputs force
@@ -464,9 +534,12 @@ class GlobalSpaceRuntime:
         """
         if invoker not in self.nodes:
             raise RuntimeError_(f"invoker {invoker!r} is not a cluster node")
-        if mode not in (MODE_EAGER, MODE_LAZY, MODE_PROXIED):
+        if mode not in (MODE_EAGER, MODE_LAZY, MODE_PROXIED, MODE_ISOLATED):
             raise RuntimeError_(f"unknown invocation mode {mode!r}")
+        if priority not in PRIORITIES:
+            raise RuntimeError_(f"unknown priority class {priority!r}")
         proxied = mode == MODE_PROXIED
+        isolated = mode == MODE_ISOLATED
         if prefetch is not None and not proxied:
             raise RuntimeError_("prefetch budgets require MODE_PROXIED")
         data_refs = dict(data_refs or {})
@@ -494,7 +567,8 @@ class GlobalSpaceRuntime:
                     "no candidate node may read every input under the current ACLs")
             candidates = sorted(candidate_names)
 
-            scale = 1.0 if mode == MODE_EAGER else self.lazy_touch_fraction
+            eager_staging = mode in (MODE_EAGER, MODE_ISOLATED)
+            scale = 1.0 if eager_staging else self.lazy_touch_fraction
             request = PlacementRequest(
                 code=self._placement_item(code_ref),
                 inputs=tuple(
@@ -509,6 +583,8 @@ class GlobalSpaceRuntime:
             decode_args = list(decode_args)
             attempt = 0
             tried: Set[str] = set()
+            admission_only = True
+            retry_after_hint: Optional[float] = None
             while True:
                 remaining = [c for c in candidates if c not in tried]
                 # Deciding costs no simulated time: a zero-width span
@@ -528,7 +604,7 @@ class GlobalSpaceRuntime:
                 self.tracer.count(f"{K_PLACED_AT}{decision.node}")
 
                 stage: List[ObjectID] = [code_ref.oid]
-                if mode == MODE_EAGER:
+                if eager_staging:
                     stage.extend(ref.oid for ref in data_refs.values()
                                  if decision.node not in self.holders(ref.oid))
                 compute_us = decision.compute_us
@@ -536,11 +612,23 @@ class GlobalSpaceRuntime:
                 executor = self.node(decision.node)
                 try:
                     if decision.node == invoker:
-                        result = yield from executor.stage_and_execute(
-                            code_ref.oid, stage, data_refs, values, compute_us,
-                            decode_args=decode_args,
-                            materialize=materialize_result, span=root,
-                            proxied=proxied, prefetch=prefetch)
+                        if not executor.try_admit(priority):
+                            # Same shedding the remote path gets from the
+                            # executor's NACK, without a wire round trip.
+                            executor.tracer.count("bus.rejected")
+                            raise _AttemptFailed(
+                                decision.node, "admission rejected",
+                                suspect=False, admission=True,
+                                retry_after_us=executor.admission.retry_after_us)
+                        try:
+                            result = yield from executor.stage_and_execute(
+                                code_ref.oid, stage, data_refs, values,
+                                compute_us, decode_args=decode_args,
+                                materialize=materialize_result, span=root,
+                                proxied=proxied, prefetch=prefetch,
+                                isolated=isolated)
+                        finally:
+                            executor.release_admission()
                         # Local result handoff is free: zero-width return
                         # phase.
                         self.spans.start(SPAN_RETURN, parent=root,
@@ -552,20 +640,41 @@ class GlobalSpaceRuntime:
                             decode_args=decode_args,
                             materialize=materialize_result, span=root,
                             deadline_us=policy.deadline_us,
-                            proxied=proxied, prefetch=prefetch)
+                            proxied=proxied, prefetch=prefetch,
+                            isolated=isolated, priority=priority)
                 except _AttemptFailed as failure:
                     if failure.suspect:
                         self.health.suspect(failure.executor)
+                    if not failure.admission:
+                        admission_only = False
+                    elif failure.retry_after_us is not None:
+                        retry_after_hint = max(retry_after_hint or 0.0,
+                                               failure.retry_after_us)
                     tried.add(failure.executor)
                     attempt += 1
                     if (attempt >= policy.max_attempts
                             or all(c in tried for c in candidates)):
+                        if admission_only and failure.admission:
+                            # Every executor we asked shed the work at
+                            # admission: typed overload signal with a
+                            # back-off floor, not a timeout.
+                            raise AdmissionRejected(
+                                f"invocation of {code_ref.oid.short()} shed "
+                                f"by admission control after {attempt} "
+                                f"attempt(s); last executor "
+                                f"{failure.executor}",
+                                retry_after_us=retry_after_hint) from None
                         raise InvokeTimeout(
                             f"invocation of {code_ref.oid.short()} gave up "
                             f"after {attempt} attempt(s); last executor "
                             f"{failure.executor}: {failure.reason}") from None
                     self.tracer.count(K_INVOKE_RETRIES)
-                    yield Timeout(policy.backoff_us(attempt, self.sim.rng))
+                    backoff = policy.backoff_us(attempt, self.sim.rng)
+                    if failure.retry_after_us is not None:
+                        # The executor told us when it is worth retrying:
+                        # back off at least that long instead of hammering.
+                        backoff = max(backoff, failure.retry_after_us)
+                    yield Timeout(backoff)
                     continue
                 break
             if attempt > 0:
@@ -591,6 +700,23 @@ class GlobalSpaceRuntime:
             decision=decision, invoke_id=invoke_id,
         )
 
+    def invoke_async(self, invoker: str, code_ref: GlobalRef,
+                     **kwargs: Any) -> Process:
+        """Wait-by-necessity invocation: start the rendezvous now, block
+        only when the result is needed.
+
+        Returns the invocation's :class:`~repro.sim.Process` immediately
+        — a waitable handle.  The caller keeps computing and yields the
+        handle at first use of the result (Schill et al.'s
+        wait-by-necessity); combined with ``mode=MODE_ISOLATED`` this
+        gives concurrent invocations over shared objects deterministic
+        results without a global lock.  Accepts every :meth:`invoke`
+        keyword argument.
+        """
+        return self.sim.spawn(
+            self.invoke(invoker, code_ref, **kwargs),
+            name=f"invoke-async-{invoker}")
+
     def _remote_exec(self, invoker: str, executor: str, code_oid: ObjectID,
                      stage: List[ObjectID], data_refs: Dict[str, GlobalRef],
                      values: Dict[str, Any], compute_us: float,
@@ -598,7 +724,9 @@ class GlobalSpaceRuntime:
                      decode_args: Optional[List[str]] = None,
                      materialize: bool = False, span=None,
                      deadline_us: Optional[float] = None,
-                     proxied: bool = False, prefetch=None):
+                     proxied: bool = False, prefetch=None,
+                     isolated: bool = False,
+                     priority: str = PRIORITY_NORMAL):
         node = self.node(invoker)
         decode_args = list(decode_args) if decode_args is not None else []
         if deadline_us is None:
@@ -627,6 +755,10 @@ class GlobalSpaceRuntime:
             if prefetch is not None:
                 payload["prefetch"] = [prefetch.depth, prefetch.fanout,
                                        prefetch.max_objects]
+        if isolated:
+            payload["isolated"] = True
+        if priority != PRIORITY_NORMAL:
+            payload["priority"] = priority
         if span is not None:
             # The request span measures the outbound wire leg: opened
             # here, finished by the executor when it starts serving.
@@ -663,6 +795,14 @@ class GlobalSpaceRuntime:
             self.spans.finish_id(ret_span)
         result = decode(reply.payload["result"])
         if not reply.payload["ok"]:
+            if reply.payload.get("admission_rejected"):
+                # The executor shed us at its admission boundary: alive
+                # and healthy, just over budget.  Carry its retry-after
+                # hint back into the failover loop's backoff.
+                raise _AttemptFailed(
+                    executor, f"admission rejected: {result}", suspect=False,
+                    admission=True,
+                    retry_after_us=reply.payload.get("retry_after_us"))
             if reply.payload.get("retryable"):
                 # The executor is alive but could not complete (its data
                 # source timed out under it) — fail over without marking

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import inspect
 import itertools
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from ..core.objectid import ObjectID
@@ -48,10 +49,15 @@ from . import messages as m
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .engine import GlobalSpaceRuntime
 
-__all__ = ["ClusterNode", "ExecutionContext", "FetchTimeout",
-           "NodeProxyBackend", "RuntimeError_"]
+__all__ = ["AdmissionPolicy", "AdmissionRejected", "ClusterNode",
+           "ExecutionContext", "FetchTimeout", "NodeProxyBackend",
+           "PRIORITY_HIGH", "PRIORITY_NORMAL", "RuntimeError_"]
 
 _req_ids = itertools.count(1)
+
+PRIORITY_NORMAL = "normal"
+PRIORITY_HIGH = "high"
+PRIORITIES = (PRIORITY_NORMAL, PRIORITY_HIGH)
 
 
 class NodeProxyBackend:
@@ -125,6 +131,45 @@ class RuntimeError_(Exception):
     """Runtime-layer failures (missing objects, unknown entries...)."""
 
 
+class AdmissionRejected(RuntimeError_):
+    """Every candidate executor shed the invocation at admission.
+
+    ``retry_after_us`` carries the largest retry-after hint any executor
+    returned — the caller's backoff floor before offering the work
+    again.  Distinct from :class:`InvokeTimeout`: nothing crashed or
+    timed out; the hosts are healthy and explicitly over budget.
+    """
+
+    def __init__(self, message: str, retry_after_us: Optional[float] = None):
+        super().__init__(message)
+        self.retry_after_us = retry_after_us
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Bounded per-host inflight execution budget with priority classes.
+
+    At most ``max_inflight`` invocations are admitted concurrently;
+    the top ``high_reserved`` slots of that budget are reserved for
+    ``PRIORITY_HIGH`` work, so background traffic can never occupy the
+    whole host.  Over-budget requests are shed immediately with a
+    retryable NACK carrying ``retry_after_us`` — load shedding at the
+    host boundary instead of silent queue growth.
+    """
+
+    max_inflight: int
+    high_reserved: int = 0
+    retry_after_us: float = 2_000.0
+
+    def __post_init__(self):
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        if not 0 <= self.high_reserved < self.max_inflight:
+            raise ValueError("high_reserved must be in [0, max_inflight)")
+        if self.retry_after_us < 0:
+            raise ValueError("retry_after_us must be non-negative")
+
+
 class FetchTimeout(RuntimeError_):
     """A fetch or demand-read exhausted every replica without a reply.
 
@@ -139,13 +184,16 @@ class ClusterNode:
 
     def __init__(self, runtime: "GlobalSpaceRuntime", host: Host,
                  space: ObjectSpace, tracer: Optional[Tracer] = None,
-                 request_timeout_us: float = 100_000.0):
+                 request_timeout_us: float = 100_000.0,
+                 admission: Optional[AdmissionPolicy] = None):
         self.runtime = runtime
         self.host = host
         self.sim: Simulator = host.sim
         self.space = space
         self.tracer = tracer or Tracer()
         self.request_timeout_us = request_timeout_us
+        self.admission = admission
+        self._admitted = 0
         self._active_jobs = 0
         self._pending: Dict[int, Future] = {}
         # Lazy-proxy table (PROXIES.md): one per node, shared by every
@@ -267,7 +315,53 @@ class ClusterNode:
             payload_bytes=m.RSP_OVERHEAD_BYTES,
         ))
 
+    # -- admission control ---------------------------------------------------
+    @property
+    def admitted(self) -> int:
+        """Invocations currently holding an admission slot."""
+        return self._admitted
+
+    def try_admit(self, priority: str = PRIORITY_NORMAL) -> bool:
+        """Claim an inflight slot, or refuse.
+
+        Normal-priority work sees the budget minus the high-reserved
+        slots; high-priority work may use the whole budget.  With no
+        :class:`AdmissionPolicy` installed every request is admitted
+        (and nothing needs releasing — release is a no-op then too).
+        """
+        if self.admission is None:
+            return True
+        cap = self.admission.max_inflight
+        if priority != PRIORITY_HIGH:
+            cap -= self.admission.high_reserved
+        if self._admitted >= cap:
+            return False
+        self._admitted += 1
+        return True
+
+    def release_admission(self) -> None:
+        """Return an admission slot claimed by :meth:`try_admit`."""
+        if self.admission is not None and self._admitted > 0:
+            self._admitted -= 1
+
     def _on_exec_req(self, packet: Packet) -> None:
+        priority = packet.payload.get("priority", PRIORITY_NORMAL)
+        if not self.try_admit(priority):
+            # Shed at the host boundary: an immediate retryable NACK
+            # with a retry-after hint, instead of queueing over budget.
+            self.tracer.count("bus.rejected")
+            span_request = packet.payload.get("span_request")
+            if span_request is not None:
+                self.runtime.spans.finish_id(span_request)
+            self.host.send(Packet(
+                kind=m.KIND_EXEC_RSP, src=self.name, dst=packet.src,
+                payload={"req_id": packet.payload["req_id"], "ok": False,
+                         "result": encode("admission rejected"),
+                         "retryable": True, "admission_rejected": True,
+                         "retry_after_us": self.admission.retry_after_us},
+                payload_bytes=m.RSP_OVERHEAD_BYTES,
+            ))
+            return
         self.sim.spawn(self._serve_exec(packet), name=f"{self.name}-exec")
 
     def _serve_exec(self, packet: Packet):
@@ -296,11 +390,12 @@ class ClusterNode:
             if span_request is not None:
                 self.runtime.spans.finish_id(span_request)
             parent = self.runtime.spans.get(span_parent)
+        isolated = packet.payload.get("isolated", False)
         try:
             result = yield from self.stage_and_execute(
                 code_oid, stage, refs, values, compute_us,
                 decode_args=decode_args, materialize=materialize, span=parent,
-                proxied=proxied, prefetch=prefetch)
+                proxied=proxied, prefetch=prefetch, isolated=isolated)
             ok, wire_result = True, encode(result)
             retryable = False
         except Exception as exc:
@@ -308,6 +403,8 @@ class ClusterNode:
             # A fetch timeout means *our* data source is suspect, not
             # this executor: tell the invoker the attempt is retryable.
             retryable = isinstance(exc, FetchTimeout)
+        finally:
+            self.release_admission()
         payload = {"req_id": req_id, "ok": ok, "result": wire_result}
         if retryable:
             payload["retryable"] = True
@@ -327,7 +424,8 @@ class ClusterNode:
                           compute_us: float, decode_args=(),
                           materialize: bool = False, span=None,
                           proxied: bool = False,
-                          prefetch: Optional[PrefetchBudget] = None):
+                          prefetch: Optional[PrefetchBudget] = None,
+                          isolated: bool = False):
         """Process: pull every staged object here (in parallel), then run.
 
         ``refs`` (name -> GlobalRef) and ``values`` (name -> plain value)
@@ -346,10 +444,33 @@ class ClusterNode:
         *before* execution starts, so FOT-reachable objects stream in
         concurrently with the computation (PROXIES.md).
 
+        With ``isolated=True`` (MODE_ISOLATED) the invocation's object
+        set is reserved up front in canonical oid order — concurrent
+        isolated invocations over overlapping sets serialize
+        deterministically instead of deadlocking — then, after staging,
+        this node claims ownership of every data input so no interleaved
+        invalidation or replica write can race the execution (the
+        interference-free model of Schill et al.).
+
         ``span`` is the invocation's root span; when given, the
         stage_in / queue / compute phases are recorded under it (spans
         left open by a failure are error-finished by the invoker).
         """
+        reserved = sorted({ref.oid for ref in refs.values()}) if isolated else []
+        if reserved:
+            yield from self.runtime.reservations.acquire(reserved)
+        try:
+            result = yield from self._stage_and_execute_inner(
+                code_oid, stage, refs, values, compute_us, decode_args,
+                materialize, span, proxied, prefetch, reserved)
+        finally:
+            if reserved:
+                self.runtime.reservations.release(reserved)
+        return result
+
+    def _stage_and_execute_inner(self, code_oid, stage, refs, values,
+                                 compute_us, decode_args, materialize, span,
+                                 proxied, prefetch, reserved):
         from ..sim import AllOf
 
         rec = self.runtime.spans if span is not None else None
@@ -375,6 +496,13 @@ class ClusterNode:
                 staged += 1
             obj = self.space.get(ref.oid)
             args[name] = decode(obj.read(0, obj.size))
+        for oid in reserved:
+            # Interference-free execution: become the sole replica
+            # holder, so no other node's copy (or proxy image) can be
+            # read or written while this invocation runs — the
+            # reservation keeps competing isolated invocations out.
+            self.runtime.claim_ownership(oid, self.name)
+            self.tracer.count("node.isolated_claim")
         if proxied:
             proxy_roots = [ref for name, ref in refs.items()
                            if name not in decode_args]

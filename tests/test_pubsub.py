@@ -18,6 +18,7 @@ from repro.pubsub import (
     TRUE,
     compile_subscriptions,
 )
+from repro.faults import FaultInjector, FaultPlan, HealthLedger
 from repro.net.pipeline import SramModel
 from repro.sim import Simulator, Timeout
 
@@ -257,3 +258,210 @@ class TestFabric:
         fabric.subscribe("resp1", topic, lambda f, p: None, predicate=Eq("kind", 1))
         ruleset = fabric.compiled_rules()
         assert ruleset.entries_used() == 1
+
+
+class TestIngressReentrancy:
+    """Handlers that mutate the subscription table mid-delivery must not
+    perturb the in-flight fan-out (regression: `_ingress` used to iterate
+    the live `_by_topic` list)."""
+
+    def _bed(self, seed=1):
+        sim = Simulator(seed=seed)
+        net = build_paper_topology(sim)
+        fabric = PubSubFabric(net, FMT)
+        topic = IDAllocator(seed=seed + 1).allocate()
+        return sim, net, fabric, topic
+
+    def test_handler_unsubscribing_peer_skips_it_for_inflight_packet(self):
+        sim, net, fabric, topic = self._bed()
+        got_b = []
+        subs = {}
+        fabric.subscribe("resp1", topic,
+                         lambda f, p: fabric.unsubscribe(subs["b"]))
+        subs["b"] = fabric.subscribe("resp1", topic,
+                                     lambda f, p: got_b.append(f))
+
+        def proc():
+            fabric.publish("driver", topic, {"kind": 1}, b"x")
+            yield Timeout(1000)
+
+        sim.run_process(proc())
+        # The peer was unsubscribed by an earlier handler of the SAME
+        # packet: it must not see the in-flight publication.
+        assert got_b == []
+
+    def test_handler_subscribing_new_sub_excludes_inflight_packet(self):
+        sim, net, fabric, topic = self._bed()
+        got_new = []
+        subs = {}
+
+        def handler_a(f, p):
+            if "new" not in subs:
+                subs["new"] = fabric.subscribe(
+                    "resp1", topic, lambda f2, p2: got_new.append(f2))
+
+        fabric.subscribe("resp1", topic, handler_a)
+
+        def proc():
+            fabric.publish("driver", topic, {"kind": 1}, b"x")
+            yield Timeout(1000)
+            fabric.publish("driver", topic, {"kind": 2}, b"y")
+            yield Timeout(1000)
+
+        sim.run_process(proc())
+        # The subscription created during delivery of packet 1 sees only
+        # packet 2.
+        assert got_new == [{"kind": 2}]
+
+    def test_handler_unsubscribing_itself_is_safe(self):
+        sim, net, fabric, topic = self._bed()
+        got = []
+        subs = {}
+
+        def once(f, p):
+            got.append(f)
+            fabric.unsubscribe(subs["me"])
+
+        subs["me"] = fabric.subscribe("resp1", topic, once)
+
+        def proc():
+            fabric.publish("driver", topic, {"kind": 1}, b"x")
+            yield Timeout(1000)
+            fabric.publish("driver", topic, {"kind": 2}, b"y")
+            yield Timeout(1000)
+
+        sim.run_process(proc())
+        assert got == [{"kind": 1}]
+
+
+class TestDeliveryOrder:
+    """The (topic, host) subscription index must preserve the original
+    per-host delivery order (subscription order filtered to the host)."""
+
+    def test_per_host_order_matches_subscription_order(self):
+        sim = Simulator(seed=7)
+        net = build_paper_topology(sim)
+        fabric = PubSubFabric(net, FMT)
+        topic = IDAllocator(seed=8).allocate()
+        order = []
+        for tag in ("a1", "b1", "a2", "b2", "a3"):
+            host = "resp1" if tag.startswith("a") else "resp2"
+            fabric.subscribe(host, topic,
+                             lambda f, p, tag=tag: order.append(tag))
+
+        def proc():
+            fabric.publish("driver", topic, {"kind": 1}, b"x")
+            yield Timeout(1000)
+
+        sim.run_process(proc())
+        assert [t for t in order if t.startswith("a")] == ["a1", "a2", "a3"]
+        assert [t for t in order if t.startswith("b")] == ["b1", "b2"]
+
+
+class TestNoRoute:
+    def _bed(self, seed=1):
+        sim = Simulator(seed=seed)
+        net = build_paper_topology(sim)
+        fabric = PubSubFabric(net, FMT)
+        topic = IDAllocator(seed=seed + 1).allocate()
+        return sim, net, fabric, topic
+
+    def test_publish_before_subscribe_counts_no_route(self):
+        sim, net, fabric, topic = self._bed()
+        got = []
+
+        def proc():
+            fabric.publish("driver", topic, {"kind": 1}, b"early")
+            yield Timeout(1000)
+            fabric.subscribe("resp1", topic, lambda f, p: got.append(f))
+            fabric.publish("driver", topic, {"kind": 2}, b"late")
+            yield Timeout(1000)
+
+        sim.run_process(proc())
+        assert fabric.tracer.counters.get("pubsub.no_route") == 1
+        assert got == [{"kind": 2}]
+
+    def test_publish_after_last_unsubscribe_counts_no_route(self):
+        sim, net, fabric, topic = self._bed()
+        got = []
+        sub = fabric.subscribe("resp1", topic, lambda f, p: got.append(f))
+
+        def proc():
+            fabric.publish("driver", topic, {"kind": 1}, b"x")
+            yield Timeout(1000)
+            fabric.unsubscribe(sub)
+            fabric.publish("driver", topic, {"kind": 2}, b"gone")
+            yield Timeout(1000)
+
+        sim.run_process(proc())
+        assert fabric.tracer.counters.get("pubsub.no_route") == 1
+        assert got == [{"kind": 1}]
+
+
+class TestDeadRoutePruning:
+    """Suspecting a crashed subscriber prunes its multicast ports; the
+    ledger clearing it reinstalls them (regression: dead-subscriber
+    routes used to stay installed forever)."""
+
+    def _bed(self, seed=1):
+        sim = Simulator(seed=seed)
+        net = build_paper_topology(sim)
+        health = HealthLedger(sim, suspicion_ttl_us=10_000_000.0)
+        fabric = PubSubFabric(net, FMT, health=health)
+        topic = IDAllocator(seed=seed + 1).allocate()
+        return sim, net, health, fabric, topic
+
+    def test_suspected_subscriber_routes_pruned_then_restored(self):
+        sim, net, health, fabric, topic = self._bed()
+        got1, got2 = [], []
+        fabric.subscribe("resp1", topic, lambda f, p: got1.append(f))
+        fabric.subscribe("resp2", topic, lambda f, p: got2.append(f))
+        plan = FaultPlan().crash("resp1", at=1_000).recover("resp1", at=50_000)
+        FaultInjector(net, plan).arm()
+        dead_host = net.host("resp1")
+        dropped = []
+
+        def proc():
+            yield Timeout(2_000)  # resp1 is now crashed, not yet suspected
+            fabric.publish("driver", topic, {"kind": 1}, b"a")
+            yield Timeout(5_000)
+            # Switches still replicated toward the dead NIC.
+            dropped.append(dead_host.tracer.counters.get(
+                "host.dropped_while_failed"))
+            health.suspect("resp1")  # e.g. the bus noticed missing acks
+            fabric.publish("driver", topic, {"kind": 2}, b"b")
+            yield Timeout(5_000)
+            dropped.append(dead_host.tracer.counters.get(
+                "host.dropped_while_failed"))
+            yield Timeout(50_000)  # resp1 recovered at t=50ms
+            health.clear("resp1")
+            fabric.publish("driver", topic, {"kind": 3}, b"c")
+            yield Timeout(5_000)
+
+        sim.run_process(proc())
+        # Publication 1 hit the dead NIC; after pruning, publication 2
+        # was not replicated toward resp1 at all.
+        assert dropped[0] >= 1
+        assert dropped[1] == dropped[0]
+        assert fabric.tracer.counters.get("pubsub.dead_route_pruned") == 1
+        # resp2 saw everything; resp1 resumed after restore.
+        assert [f["kind"] for f in got2] == [1, 2, 3]
+        assert [f["kind"] for f in got1] == [3]
+
+    def test_prune_without_health_subscriptions_survive(self):
+        sim, net, health, fabric, topic = self._bed()
+        got = []
+        fabric.subscribe("resp1", topic, lambda f, p: got.append(f))
+        fabric.prune_host("resp1")
+        fabric.prune_host("resp1")  # idempotent
+
+        def proc():
+            fabric.publish("driver", topic, {"kind": 1}, b"x")
+            yield Timeout(2_000)
+            fabric.restore_host("resp1")
+            fabric.publish("driver", topic, {"kind": 2}, b"y")
+            yield Timeout(2_000)
+
+        sim.run_process(proc())
+        assert [f["kind"] for f in got] == [2]
+        assert fabric.tracer.counters.get("pubsub.dead_route_pruned") == 1
