@@ -1047,3 +1047,222 @@ def bus_telemetry_fanout(seed: int, scale: dict) -> ScenarioResult:
     }
     ops = loaded.tenants["txn"].completed + published
     return ScenarioResult(ops=ops, sim_time_us=sim.now, counters=counters)
+
+
+# ---------------------------------------------------------------------------
+# coherence under multi-tenant pressure: eviction lifecycle + egress fairness
+# ---------------------------------------------------------------------------
+
+
+@register(
+    "coherence.storm_fairness",
+    "WRR egress keeps a victim tenant's p999 bounded under a coherence scan storm",
+    quick={"duration_us": 100_000.0, "txn_rate": 2_000.0, "scanners": 6,
+           "storm_objects": 48, "object_bytes": 2_048, "capacity_bytes": 16_384,
+           "read_bytes": 1_024, "write_every_us": 1_500.0},
+    full={"duration_us": 400_000.0, "txn_rate": 2_000.0, "scanners": 8,
+          "storm_objects": 96, "object_bytes": 2_048, "capacity_bytes": 16_384,
+          "read_bytes": 1_024, "write_every_us": 1_500.0},
+)
+def coherence_storm_fairness(seed: int, scale: dict) -> ScenarioResult:
+    """The tentpole fairness claim, asserted in-run.
+
+    A transactional tenant (h0 -> runtime node h1) shares the fabric
+    with a coherence storm: capacity-bounded silent-drop scanners on h2
+    re-missing a working set homed on h1, while a home-side writer keeps
+    probing the (often stale) sharers.  Every storm grant serializes on
+    the same h1 uplink as the victim's replies.
+
+    Phase A measures the victim alone.  Phase B adds the storm over
+    FIFO egress — head-of-line grants must blow the victim's p999 past
+    3x its unloaded baseline.  Phase C re-runs the same seed with
+    deficit-WRR weights favouring transport; the bound must hold.
+    """
+    from repro.core import IDAllocator
+    from repro.loadgen import LoadGenerator, TenantSpec
+    from repro.memproto import EVICT_SILENT_DROP, CoherenceAgent
+    from repro.net.topology import build_star
+    from repro.runtime.engine import GlobalSpaceRuntime
+    from repro.sim import Simulator, Tracer
+
+    duration = scale["duration_us"]
+    object_bytes = scale["object_bytes"]
+
+    def phase(with_storm: bool, weights):
+        sim = Simulator(seed=seed)
+        net = build_star(sim, 3, default_bandwidth_gbps=0.05,
+                         default_latency_us=2.0, tracing=True)
+        runtime = GlobalSpaceRuntime(net)
+        runtime.add_node("h0")
+        runtime.add_node("h1")
+        if weights is not None:
+            for link in net.links:
+                link.set_egress_weights(weights)
+        home_tracer = Tracer()
+        scan_tracer = Tracer()
+        if with_storm:
+            home_map = {}
+            home = CoherenceAgent(net.host("h1"), home_map,
+                                  tracer=home_tracer)
+            scanner = CoherenceAgent(
+                net.host("h2"), home_map, tracer=scan_tracer,
+                capacity_bytes=scale["capacity_bytes"],
+                shared_evict_policy=EVICT_SILENT_DROP)
+            alloc = IDAllocator(seed=seed + 23)
+            oids = []
+            for i in range(scale["storm_objects"]):
+                oid = alloc.allocate()
+                home.host_object(oid, bytes([i % 256]) * object_bytes)
+                oids.append(oid)
+
+            def scan(slice_oids):
+                # Capacity misses forever: the working set never fits,
+                # so every pass re-acquires (and re-ships) every object.
+                while sim.now < duration:
+                    for oid in slice_oids:
+                        if sim.now >= duration:
+                            return
+                        yield from scanner.read(oid, 0, object_bytes)
+
+            n_scan = scale["scanners"]
+            for k in range(n_scan):
+                sim.spawn(scan(oids[k::n_scan]), name=f"storm-scan-{k}")
+
+            def churn():
+                # Home-side writes force probe rounds at the scanners —
+                # most hit silently-dropped lines and come back stale.
+                i = 0
+                while sim.now < duration:
+                    yield sim.timeout(scale["write_every_us"])
+                    yield from home.write(oids[i % len(oids)], 0, b"\x7f")
+                    i += 1
+
+            sim.spawn(churn(), name="storm-churn")
+        victim = TenantSpec(
+            name="txn", client="h0", rate_per_sec=scale["txn_rate"],
+            popularity="zipf", skew=1.0, keyspace=10_000,
+            mix=(("load", 0.7), ("store", 0.3)),
+            read_bytes=scale["read_bytes"], write_bytes=256,
+            tclass="txn")
+        report = LoadGenerator(runtime, [victim], duration_us=duration).run()
+        return sim, net, report, home_tracer, scan_tracer
+
+    wrr_weights = {"txn": 8, "transport": 8, "coherence": 1}
+    _, _, unloaded, _, _ = phase(with_storm=False, weights=None)
+    _, _, fifo, _, _ = phase(with_storm=True, weights=None)
+    sim, net, wrr, home_tracer, scan_tracer = phase(
+        with_storm=True, weights=wrr_weights)
+
+    p999_base = unloaded.tenants["txn"].percentile(99.9)
+    p999_fifo = fifo.tenants["txn"].percentile(99.9)
+    p999_wrr = wrr.tenants["txn"].percentile(99.9)
+    # The scenario's whole point, asserted in-run: FIFO exports the
+    # storm into the victim's tail, deficit-WRR confines it.
+    assert p999_fifo > 3 * p999_base, (
+        f"no interference signature under FIFO: "
+        f"{p999_base:.0f}us -> {p999_fifo:.0f}us")
+    assert p999_wrr <= 3 * p999_base, (
+        f"victim p999 blew out despite WRR: "
+        f"{p999_base:.0f}us -> {p999_wrr:.0f}us")
+    snap = net.metrics.snapshot()["counters"]
+    counters = {
+        "txn.unloaded.p999_us": int(round(p999_base)),
+        "txn.fifo.p999_us": int(round(p999_fifo)),
+        "txn.wrr.p999_us": int(round(p999_wrr)),
+        "txn.completed": wrr.tenants["txn"].completed,
+        "storm.read_miss": scan_tracer.counters.get("coherence.read_miss"),
+        "storm.evict.shared": scan_tracer.counters.get("coherence.evict.shared"),
+        "storm.probe_stale": home_tracer.counters.get("coherence.probe_stale"),
+        "wrr.tx.coherence": snap.get("net.links:switch.wrr.tx.coherence", 0),
+        "wrr.tx.transport": snap.get("net.links:switch.wrr.tx.transport", 0),
+        "wrr.tx.txn": snap.get("net.links:switch.wrr.tx.txn", 0),
+    }
+    ops = (unloaded.tenants["txn"].completed + fifo.tenants["txn"].completed
+           + wrr.tenants["txn"].completed)
+    return ScenarioResult(ops=ops, sim_time_us=sim.now, counters=counters)
+
+
+@register(
+    "coherence.capacity_sweep",
+    "hit-rate vs eviction-writeback crossover as cache capacity grows",
+    quick={"objects": 48, "object_bytes": 1_024, "rounds": 6,
+           "write_every": 4, "capacities": (12_288, 24_576, 49_152)},
+    full={"objects": 256, "object_bytes": 1_024, "rounds": 8,
+          "write_every": 4, "capacities": (65_536, 131_072, 262_144)},
+)
+def coherence_capacity_sweep(seed: int, scale: dict) -> ScenarioResult:
+    """Sweep ``capacity_bytes`` across a fixed working set: as capacity
+    grows, cache hits rise and eviction writebacks fall to zero once the
+    set fits — the crossover the capacity knob exists to expose.
+
+    The access pattern interleaves a sequential scan (LRU's worst case)
+    with reuse of a small hot subset, so intermediate capacities land
+    between the extremes instead of cliff-dropping to zero hits."""
+    from repro.core import IDAllocator
+    from repro.memproto import CoherenceAgent
+    from repro.net import build_star
+    from repro.sim import Simulator
+
+    objects = scale["objects"]
+    size = scale["object_bytes"]
+    rounds = scale["rounds"]
+    write_every = scale["write_every"]
+    counters = {}
+    hits_by_cap = []
+    writebacks_by_cap = []
+    total_ops = 0
+    total_time = 0.0
+    for capacity in scale["capacities"]:
+        sim = Simulator(seed=seed)
+        net = build_star(sim, 2, tracing=True)
+        home_map = {}
+        home = CoherenceAgent(net.host("h0"), home_map)
+        worker = CoherenceAgent(net.host("h1"), home_map,
+                                capacity_bytes=capacity)
+        alloc = IDAllocator(seed=seed)
+        oids = []
+        for i in range(objects):
+            oid = alloc.allocate()
+            home.host_object(oid, bytes([i % 256]) * size)
+            oids.append(oid)
+
+        hot = max(1, objects // 8)
+
+        def proc():
+            for r in range(rounds):
+                for i, oid in enumerate(oids):
+                    if (i + r) % write_every == 0:
+                        yield from worker.write(oid, 0, b"\x42")
+                    else:
+                        yield from worker.read(oid, 0, size)
+                    # Hot-subset reuse: stays resident once capacity
+                    # covers the reuse distance, giving mid capacities
+                    # a partial hit rate.
+                    yield from worker.read(oids[i % hot], 0, size)
+            return None
+
+        sim.run_process(proc(), name=f"sweep-{capacity}")
+        wc = worker.tracer.counters
+        hits = wc.get("coherence.cache_hit")
+        writebacks = wc.get("coherence.evict.writeback")
+        prefix = f"cap{capacity}."
+        counters[prefix + "cache_hit"] = hits
+        counters[prefix + "miss"] = (wc.get("coherence.read_miss")
+                                     + wc.get("coherence.write_miss"))
+        counters[prefix + "evict.shared"] = wc.get("coherence.evict.shared")
+        counters[prefix + "evict.modified"] = wc.get("coherence.evict.modified")
+        counters[prefix + "evict.writeback"] = writebacks
+        hits_by_cap.append(hits)
+        writebacks_by_cap.append(writebacks)
+        total_ops += rounds * objects * 2
+        total_time += sim.now
+    assert all(a <= b for a, b in zip(hits_by_cap, hits_by_cap[1:])), (
+        f"cache hits not monotone in capacity: {hits_by_cap}")
+    assert all(a >= b for a, b in zip(writebacks_by_cap,
+                                      writebacks_by_cap[1:])), (
+        f"writebacks not monotone in capacity: {writebacks_by_cap}")
+    assert writebacks_by_cap[0] > 0, "smallest capacity produced no writebacks"
+    assert writebacks_by_cap[-1] == 0, (
+        "largest capacity (== working set) still evicted")
+    return ScenarioResult(ops=total_ops, sim_time_us=total_time,
+                          counters=counters)

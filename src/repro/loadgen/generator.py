@@ -119,6 +119,11 @@ class TenantSpec:
     max_outstanding: int = 256
     publish_field: str = "kind"
     publish_bytes: int = 64
+    # Optional egress traffic class: stamped on every packet the
+    # tenant's client host sends, so WRR-arbitrated links can weight
+    # this tenant's traffic independently of the built-in coherence/
+    # transport/pubsub classes.
+    tclass: Optional[str] = None
 
     def __post_init__(self):
         if not self.name:
@@ -300,6 +305,10 @@ class LoadGenerator:
             # One private stream per tenant, derived from the sim RNG in
             # tenant order: tenants stay independent, runs stay seeded.
             rng = random.Random(self.sim.rng.getrandbits(64))
+            if spec.tclass is not None:
+                # Per-tenant WRR override: class every packet the client
+                # host emits under the tenant's own traffic class.
+                runtime.network.host(spec.client).default_tclass = spec.tclass
             homes = [n for n in host_names if n != spec.client] or [spec.client]
             tracer = runtime.metrics.register(
                 f"workloads.loadgen.{spec.name}", replace=True)

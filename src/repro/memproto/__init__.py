@@ -2,7 +2,14 @@
 and directory MSI coherence (Shared acquisitions downgrade an exclusive
 owner M->S with writeback; Modified acquisitions invalidate)."""
 
-from .coherence import PERM_MODIFIED, PERM_SHARED, CoherenceAgent, CoherenceError
+from .coherence import (
+    EVICT_NOTIFY,
+    EVICT_SILENT_DROP,
+    PERM_MODIFIED,
+    PERM_SHARED,
+    CoherenceAgent,
+    CoherenceError,
+)
 from .messages import (
     CACHE_LINE_BYTES,
     MSG_ACQUIRE,
@@ -51,4 +58,6 @@ __all__ = [
     "CoherentProxyResolver",
     "PERM_SHARED",
     "PERM_MODIFIED",
+    "EVICT_NOTIFY",
+    "EVICT_SILENT_DROP",
 ]

@@ -22,12 +22,21 @@ same instant into one multi-oid grant reply, and the probe/invalidate
 fan-out of concurrent transactions coalesces per target into one
 multi-entry probe round (answered by one batched ack, dirty writebacks
 piggybacked per entry).
+
+Caches are **capacity-bounded**: an agent constructed with
+``capacity_bytes`` evicts least-recently-used entries when an insert
+would exceed the bound.  Evicting a Modified line writes the data back
+to the home (a fire-and-forget release); evicting a Shared line follows
+the per-agent ``shared_evict_policy`` — ``notify`` releases the copy so
+the directory forgets the sharer, ``silent_drop`` just drops it and lets
+the directory discover the stale sharer on the next probe (the probe ack
+answers "not present" and the home prunes instead of hanging).
 """
 
 from __future__ import annotations
 
 import itertools
-from collections import deque
+from collections import OrderedDict, deque
 from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..core.objectid import ObjectID
@@ -46,12 +55,24 @@ from .messages import (
     grant_packet,
     probe_ack_packet,
     probe_packet,
+    release_packet,
 )
 
-__all__ = ["CoherenceAgent", "CoherenceError", "PERM_SHARED", "PERM_MODIFIED"]
+__all__ = [
+    "CoherenceAgent",
+    "CoherenceError",
+    "PERM_SHARED",
+    "PERM_MODIFIED",
+    "EVICT_NOTIFY",
+    "EVICT_SILENT_DROP",
+]
 
 PERM_SHARED = "S"
 PERM_MODIFIED = "M"
+
+# Shared-line eviction policies.
+EVICT_NOTIFY = "notify"           # release so the directory drops the sharer
+EVICT_SILENT_DROP = "silent_drop" # drop; the directory prunes on the next probe
 
 _req_ids = itertools.count(1)
 
@@ -114,14 +135,32 @@ class CoherenceAgent:
     """
 
     def __init__(self, host: Host, home_map: Dict[ObjectID, str],
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 capacity_bytes: Optional[int] = None,
+                 shared_evict_policy: str = EVICT_NOTIFY):
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive (or None)")
+        if shared_evict_policy not in (EVICT_NOTIFY, EVICT_SILENT_DROP):
+            raise ValueError(
+                f"unknown shared_evict_policy {shared_evict_policy!r}")
         self.host = host
         self.sim: Simulator = host.sim
         self.home_map = home_map
         self.tracer = tracer or Tracer()
-        self._cache: Dict[ObjectID, _CacheEntry] = {}
+        self.capacity_bytes = capacity_bytes
+        self.shared_evict_policy = shared_evict_policy
+        # LRU order: oldest entry first; hits move_to_end.
+        self._cache: "OrderedDict[ObjectID, _CacheEntry]" = OrderedDict()
+        self._cache_bytes = 0
         self._directory: Dict[ObjectID, _DirectoryEntry] = {}
         self._pending: Dict[int, Future] = {}
+        # Capacity-eviction releases are fire-and-forget (no waiting
+        # process), but a dirty eviction's data must stay reachable until
+        # the home acks it: a probe racing the release finds the bytes
+        # here and piggybacks them on the probe ack, so the home never
+        # grants stale directory data.
+        self._evicting: Dict[ObjectID, Tuple[int, bytes]] = {}
+        self._evict_inflight: Dict[int, ObjectID] = {}
         host.on(MSG_ACQUIRE, self._on_acquire)
         host.on(MSG_GRANT, self._on_grant)
         host.on(MSG_PROBE_INVALIDATE, self._on_probe)
@@ -185,6 +224,76 @@ class CoherenceAgent:
                 f"range [{offset}:{offset + length}) out of bounds for "
                 f"{oid.short()} ({size} bytes)")
 
+    # -- capacity-bounded cache management ------------------------------------
+    @property
+    def cached_bytes(self) -> int:
+        """Bytes of object data currently held in the local cache."""
+        return self._cache_bytes
+
+    def _touch(self, oid: ObjectID) -> None:
+        """Mark ``oid`` most-recently-used (a cache hit)."""
+        self._cache.move_to_end(oid)
+
+    def _install(self, oid: ObjectID, entry: _CacheEntry) -> _CacheEntry:
+        """Insert (or replace) a cache entry at MRU, then evict down to
+        capacity — never evicting the entry just inserted, since callers
+        go on to read or mutate it."""
+        old = self._cache.pop(oid, None)
+        if old is not None:
+            self._cache_bytes -= len(old.data)
+        self._cache[oid] = entry
+        self._cache_bytes += len(entry.data)
+        self._evict_to_capacity(keep=oid)
+        return entry
+
+    def _forget(self, oid: ObjectID) -> Optional[_CacheEntry]:
+        """Drop ``oid`` from the cache (no protocol side effects)."""
+        entry = self._cache.pop(oid, None)
+        if entry is not None:
+            self._cache_bytes -= len(entry.data)
+        return entry
+
+    def _evict_to_capacity(self, keep: Optional[ObjectID] = None) -> None:
+        if self.capacity_bytes is None:
+            return
+        while self._cache_bytes > self.capacity_bytes:
+            victim = next(iter(self._cache))
+            if victim == keep:
+                # ``keep`` sits at MRU, so it can only be the LRU head
+                # when it is the sole entry: a single object larger than
+                # the whole cache stays resident until the next insert.
+                return
+            self._evict_one(victim)
+
+    def _evict_one(self, oid: ObjectID) -> None:
+        entry = self._forget(oid)
+        assert entry is not None
+        for callback in self._invalidation_listeners:
+            callback(oid)
+        if entry.perm == PERM_MODIFIED:
+            self.tracer.count("coherence.evict.modified")
+            data: Optional[bytes] = None
+            if entry.dirty:
+                self.tracer.count("coherence.evict.writeback")
+                data = bytes(entry.data)
+            req_id = next(_req_ids)
+            self._evict_inflight[req_id] = oid
+            if data is not None:
+                self._evicting[oid] = (req_id, data)
+            self.host.send(release_packet(
+                self.host.name, self._home_of(oid), oid, req_id,
+                PERM_MODIFIED, data))
+            return
+        self.tracer.count("coherence.evict.shared")
+        if self.shared_evict_policy == EVICT_NOTIFY:
+            req_id = next(_req_ids)
+            self._evict_inflight[req_id] = oid
+            self.host.send(release_packet(
+                self.host.name, self._home_of(oid), oid, req_id,
+                PERM_SHARED, None))
+        # silent_drop: say nothing — the directory keeps us as a sharer
+        # until its next probe comes back "not present" and it prunes.
+
     # -- public operations (generator processes) -------------------------------
     def read(self, oid: ObjectID, offset: int, length: int):
         """Process: acquire Shared (if needed) and return the bytes."""
@@ -199,6 +308,7 @@ class CoherenceAgent:
             return bytes(directory.data[offset : offset + length])
         if entry is not None:
             self.tracer.count("coherence.cache_hit")
+            self._touch(oid)
             self._check_range(oid, len(entry.data), offset, length)
             return bytes(entry.data[offset : offset + length])
         self.tracer.count("coherence.read_miss")
@@ -236,8 +346,8 @@ class CoherenceAgent:
         for home, wanted in by_home.items():
             for index, oid, _, future in wanted:
                 granted = yield future
-                entry = _CacheEntry(bytearray(granted["data"]), PERM_SHARED)
-                self._cache[oid] = entry
+                entry = self._install(
+                    oid, _CacheEntry(bytearray(granted["data"]), PERM_SHARED))
                 self._check_range(oid, len(entry.data), offset, length)
                 results[index] = bytes(entry.data[offset : offset + length])
         return [results[i] for i in range(len(oids))]
@@ -260,6 +370,7 @@ class CoherenceAgent:
             entry = self._cache.get(oid)
             if entry is not None:
                 self.tracer.count("coherence.cache_hit")
+                self._touch(oid)
                 results[oid] = bytes(entry.data)
                 continue
             if self._home_of(oid) == self.host.name:
@@ -282,8 +393,8 @@ class CoherenceAgent:
         for home, wanted in by_home.items():
             for oid, _, future in wanted:
                 granted = yield future
-                entry = _CacheEntry(bytearray(granted["data"]), PERM_SHARED)
-                self._cache[oid] = entry
+                entry = self._install(
+                    oid, _CacheEntry(bytearray(granted["data"]), PERM_SHARED))
                 results[oid] = bytes(entry.data)
         return results
 
@@ -293,6 +404,7 @@ class CoherenceAgent:
         entry = self._cache.get(oid)
         if entry is not None and entry.perm == PERM_MODIFIED:
             self.tracer.count("coherence.cache_hit")
+            self._touch(oid)
         elif entry is not None and entry.perm == PERM_SHARED and home != self.host.name:
             # §3.2's "upgrade access type": S -> M without re-shipping
             # the data we already hold (unless a concurrent writer
@@ -322,16 +434,10 @@ class CoherenceAgent:
         req_id = next(_req_ids)
         future = Future(self.sim, name=f"release-{req_id}")
         self._pending[req_id] = future
-        payload: Dict[str, Any] = {"req_id": req_id, "perm": entry.perm}
-        payload_bytes = COHERENCE_ENTRY_BYTES
-        if entry.dirty:
-            payload["data"] = bytes(entry.data)
-            payload_bytes += len(entry.data)
-        self.host.send(Packet(
-            kind=MSG_RELEASE, src=self.host.name, dst=self._home_of(oid),
-            oid=oid, payload=payload, payload_bytes=payload_bytes,
-        ))
-        del self._cache[oid]
+        self.host.send(release_packet(
+            self.host.name, self._home_of(oid), oid, req_id, entry.perm,
+            bytes(entry.data) if entry.dirty else None))
+        self._forget(oid)
         yield future
 
     def cached_perm(self, oid: ObjectID) -> Optional[str]:
@@ -361,9 +467,7 @@ class CoherenceAgent:
         self._send_acquire(self._home_of(oid), perm,
                            [{"oid": oid, "req_id": req_id}])
         granted = yield future
-        entry = _CacheEntry(bytearray(granted["data"]), perm)
-        self._cache[oid] = entry
-        return entry
+        return self._install(oid, _CacheEntry(bytearray(granted["data"]), perm))
 
     def _upgrade(self, oid: ObjectID):
         """Process: request S -> M; the grant carries data only if our
@@ -377,10 +481,11 @@ class CoherenceAgent:
         entry = self._cache.get(oid)
         if granted.get("data") is not None or entry is None:
             # We lost the copy mid-flight: the home shipped fresh data.
-            entry = _CacheEntry(bytearray(granted["data"]), PERM_MODIFIED)
-            self._cache[oid] = entry
+            entry = self._install(
+                oid, _CacheEntry(bytearray(granted["data"]), PERM_MODIFIED))
         else:
             entry.perm = PERM_MODIFIED
+            self._touch(oid)
         return entry
 
     def _home_local_barrier(self, oid: ObjectID, perm: str):
@@ -401,7 +506,7 @@ class CoherenceAgent:
         self._admit(oid, directory, txn)
         yield future
         # The grant for a home-local barrier carries no data we need.
-        self._cache.pop(oid, None)
+        self._forget(oid)
 
     def _on_grant(self, packet: Packet) -> None:
         for entry in packet.payload["grants"]:
@@ -409,10 +514,28 @@ class CoherenceAgent:
             if future is None:
                 self.tracer.count("coherence.orphan_grant")
                 continue
+            if entry.get("nack"):
+                # The home refused: it never hosted this object (stale
+                # home map).  Fault the waiting coroutine instead of
+                # leaving it parked on the future forever.
+                oid = entry["oid"]
+                future.set_exception(CoherenceError(
+                    f"acquire {entry['perm']} of {oid.short()} NACKed by "
+                    f"{packet.src}: not the home (stale home map?)"))
+                continue
             future.set_result(entry)
 
     def _on_release_ack(self, packet: Packet) -> None:
-        future = self._pending.pop(packet.payload["req_id"], None)
+        req_id = packet.payload["req_id"]
+        oid = self._evict_inflight.pop(req_id, None)
+        if oid is not None:
+            # A fire-and-forget eviction release completed: the home has
+            # the data, so the race buffer can let go of it.
+            pending = self._evicting.get(oid)
+            if pending is not None and pending[0] == req_id:
+                del self._evicting[oid]
+            return
+        future = self._pending.pop(req_id, None)
         if future is not None:
             future.set_result(None)
 
@@ -423,7 +546,17 @@ class CoherenceAgent:
             oid = req["oid"]
             directory = self._directory.get(oid)
             if directory is None:
+                # Not our object (stale home map at the requester).  A
+                # silent drop would leave the requester's future pending
+                # forever, so answer with a NACK grant entry instead.
                 self.tracer.count("coherence.bad_home")
+                self._queue_grant(packet.src, {
+                    "req_id": req["req_id"],
+                    "oid": oid,
+                    "perm": perm,
+                    "data": None,
+                    "nack": True,
+                })
                 continue
             txn = _Txn(packet.src, req["req_id"], perm,
                        upgrade=bool(req.get("upgrade")))
@@ -488,20 +621,31 @@ class CoherenceAgent:
             downgrade_to = probe.get("downgrade_to", "I")
             entry = self._cache.get(oid)
             ack: Dict[str, Any] = {"oid": oid, "req_key": probe["req_key"]}
-            if entry is not None and entry.dirty:
+            if entry is None:
+                # The directory thinks we hold a copy but we already let
+                # go of it (silent-drop eviction, or a release still in
+                # flight).  Answer "not present" so the home prunes us;
+                # if a dirty eviction's writeback is racing this probe,
+                # piggyback its data so the home never grants stale bytes.
+                ack["present"] = False
+                racing = self._evicting.get(oid)
+                if racing is not None:
+                    ack["data"] = racing[1]
+                acks.append(ack)
+                continue
+            if entry.dirty:
                 ack["data"] = bytes(entry.data)
-            if downgrade_to == PERM_SHARED and entry is not None:
+            if downgrade_to == PERM_SHARED:
                 # M -> S: keep the (now clean) copy for future local reads.
                 entry.perm = PERM_SHARED
                 entry.dirty = False
                 ack["kept_shared"] = True
                 self.tracer.count("coherence.downgraded")
             else:
-                dropped = self._cache.pop(oid, None)
+                self._forget(oid)
                 self.tracer.count("coherence.invalidated")
-                if dropped is not None:
-                    for callback in self._invalidation_listeners:
-                        callback(oid)
+                for callback in self._invalidation_listeners:
+                    callback(oid)
             acks.append(ack)
         self.host.send(probe_ack_packet(self.host.name, packet.src, acks))
 
@@ -514,6 +658,12 @@ class CoherenceAgent:
                 self.tracer.count("coherence.orphan_probe_ack")
                 continue
             directory = self._directory[oid]
+            if ack.get("present") is False:
+                # The holder silently dropped (or is releasing) its copy:
+                # prune the stale sharer/owner instead of hanging the
+                # transaction waiting for an invalidation that already
+                # happened.
+                self.tracer.count("coherence.probe_stale")
             if "data" in ack:  # dirty writeback piggybacked on the ack
                 directory.data[:] = ack["data"]
             if ack.get("kept_shared"):
@@ -596,7 +746,10 @@ class CoherenceAgent:
         if directory is None:
             self.tracer.count("coherence.bad_home")
             return
-        if "data" in packet.payload:
+        if "data" in packet.payload and directory.owner in (None, packet.src):
+            # Apply the writeback unless ownership has already moved on
+            # (an eviction release racing a probe that re-granted M): the
+            # new owner's copy supersedes these bytes.
             directory.data[:] = packet.payload["data"]
         directory.sharers.discard(packet.src)
         if directory.owner == packet.src:

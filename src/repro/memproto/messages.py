@@ -40,6 +40,7 @@ __all__ = [
     "write_ack",
     "acquire_packet",
     "grant_packet",
+    "release_packet",
     "probe_packet",
     "probe_ack_packet",
 ]
@@ -156,6 +157,26 @@ def grant_packet(responder: str, requester: str,
         dst=requester,
         payload={"grants": grants},
         payload_bytes=COHERENCE_ENTRY_BYTES * len(grants) + data_bytes,
+    )
+
+
+def release_packet(src: str, home: str, oid: ObjectID, req_id: int,
+                   perm: str, data: Optional[bytes] = None) -> Packet:
+    """Give a cached copy back to ``home``: a voluntary writeback or a
+    capacity eviction.  ``data`` rides along only when the copy is dirty
+    (a clean release just tells the directory to forget the holder)."""
+    payload: Dict[str, Any] = {"req_id": req_id, "perm": perm}
+    payload_bytes = COHERENCE_ENTRY_BYTES
+    if data is not None:
+        payload["data"] = data
+        payload_bytes += len(data)
+    return Packet(
+        kind=MSG_RELEASE,
+        src=src,
+        dst=home,
+        oid=oid,
+        payload=payload,
+        payload_bytes=payload_bytes,
     )
 
 

@@ -6,7 +6,12 @@ environment (see DESIGN.md §2 for the substitution argument).
 """
 
 from .host import Host, PacketHandler
-from .link import DEFAULT_BANDWIDTH_GBPS, DEFAULT_LATENCY_US, Link
+from .link import (
+    DEFAULT_BANDWIDTH_GBPS,
+    DEFAULT_LATENCY_US,
+    DEFAULT_WRR_QUANTUM_BYTES,
+    Link,
+)
 from .node import Node, NodeError
 from .overlay import (
     KIND_TUNNEL,
@@ -15,7 +20,17 @@ from .overlay import (
     RegionDirectory,
     build_multi_region,
 )
-from .packet import BROADCAST, DEFAULT_TTL, HEADER_BYTES, OID_FIELD_BYTES, Packet
+from .packet import (
+    BROADCAST,
+    DEFAULT_TTL,
+    HEADER_BYTES,
+    OID_FIELD_BYTES,
+    TCLASS_COHERENCE,
+    TCLASS_PUBSUB,
+    TCLASS_TRANSPORT,
+    Packet,
+    traffic_class,
+)
 from .pipeline import MatchActionTable, SramModel, TableFullError, TOFINO_SRAM
 from .switch import MISS_DROP, MISS_FLOOD, MISS_PUNT, Switch
 from .topology import (
@@ -35,6 +50,11 @@ __all__ = [
     "Link",
     "DEFAULT_BANDWIDTH_GBPS",
     "DEFAULT_LATENCY_US",
+    "DEFAULT_WRR_QUANTUM_BYTES",
+    "TCLASS_COHERENCE",
+    "TCLASS_TRANSPORT",
+    "TCLASS_PUBSUB",
+    "traffic_class",
     "Node",
     "NodeError",
     "Host",

@@ -44,6 +44,11 @@ class Host(Node):
         # Promiscuous hosts (overlay gateways) also receive unicast
         # traffic addressed to *other* hosts instead of filtering it.
         self.promiscuous = False
+        # Default egress traffic class: stamped on every packet this
+        # host sends that carries no explicit class of its own — the
+        # per-tenant override hook for WRR egress arbitration (a tenant
+        # pinned to this host gets all its traffic classed together).
+        self.default_tclass: Optional[str] = None
         # Packets with no registered handler land here, so tests can
         # drain them and nothing is silently lost.
         self.unhandled: Store = Store(sim, name=f"{name}.unhandled")
@@ -112,6 +117,8 @@ class Host(Node):
             raise NodeError(f"{self.name}: not attached to any link")
         packet.src = packet.src or self.name
         packet.created_at = packet.created_at or self.sim.now
+        if packet.tclass is None and self.default_tclass is not None:
+            packet.tclass = self.default_tclass
         self.tracer.count("host.tx")
         self.tracer.count("host.tx_bytes", packet.size_bytes)
         if packet.is_broadcast:

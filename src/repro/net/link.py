@@ -5,22 +5,103 @@ FIFO: store-and-forward with transmission time ``size / bandwidth`` plus
 fixed propagation latency, matching how the emulated Mininet links in §4
 behave.  Optional random loss exercises the reliable-transport layer
 (experiment E9).
+
+Egress is FIFO by default.  :meth:`Link.set_egress_weights` replaces the
+single implicit queue with **per-traffic-class virtual queues** drained
+by a deficit-counter weighted-round-robin arbiter (DRR): each class in
+round-robin order earns ``quantum × weight`` bytes of credit per visit
+and transmits while its head-of-line packet fits the accumulated credit.
+The deficit counter carries across rounds, so a class whose frames are
+larger than one quantum still receives its configured byte share —
+large frames delay, but cannot starve, the other classes.  Unconfigured
+links take the original busy-until fast path untouched, so existing
+scenarios stay byte-identical.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, Optional
 
 from ..sim import Simulator, Tracer
+from .packet import traffic_class
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .node import Node
     from .packet import Packet
 
-__all__ = ["Link", "LinkEnd", "DEFAULT_BANDWIDTH_GBPS", "DEFAULT_LATENCY_US"]
+__all__ = ["Link", "LinkEnd", "DEFAULT_BANDWIDTH_GBPS", "DEFAULT_LATENCY_US",
+           "DEFAULT_WRR_QUANTUM_BYTES"]
 
 DEFAULT_BANDWIDTH_GBPS = 10.0
 DEFAULT_LATENCY_US = 5.0
+
+# One MTU of credit per unit weight per round: a weight-1 class earns the
+# right to send one full-size frame each time the arbiter visits it.
+DEFAULT_WRR_QUANTUM_BYTES = 1500
+
+
+class _WrrArbiter:
+    """Per-direction DRR state: virtual queues + deficit counters.
+
+    ``active`` holds the round-robin ring — exactly the classes whose
+    queues are non-empty, in arrival order of their activation.  A class
+    leaving the ring (queue drained) forfeits its remaining deficit, the
+    standard DRR rule that stops an idle class from hoarding credit.
+    """
+
+    __slots__ = ("weights", "default_weight", "quantum", "queues",
+                 "active", "deficit", "fresh", "sending")
+
+    def __init__(self, weights: Dict[str, int], quantum: int,
+                 default_weight: int):
+        self.weights = dict(weights)
+        self.default_weight = default_weight
+        self.quantum = quantum
+        self.queues: Dict[str, Deque["Packet"]] = {}
+        self.active: Deque[str] = deque()
+        self.deficit: Dict[str, float] = {}
+        # True while the head class has not yet earned this visit's
+        # quantum (set on every head change / new round-robin visit).
+        self.fresh = True
+        self.sending = False
+
+    def enqueue(self, packet: "Packet") -> str:
+        cls = traffic_class(packet)
+        queue = self.queues.get(cls)
+        if queue is None:
+            queue = self.queues[cls] = deque()
+        if not queue:
+            self.active.append(cls)
+            self.deficit[cls] = 0.0
+        queue.append(packet)
+        return cls
+
+    def next_packet(self) -> Optional["Packet"]:
+        active = self.active
+        while active:
+            cls = active[0]
+            queue = self.queues[cls]
+            if self.fresh:
+                self.deficit[cls] += self.quantum * self.weights.get(
+                    cls, self.default_weight)
+                self.fresh = False
+            if queue[0].size_bytes <= self.deficit[cls]:
+                packet = queue.popleft()
+                self.deficit[cls] -= packet.size_bytes
+                if not queue:
+                    active.popleft()
+                    self.deficit[cls] = 0.0
+                    self.fresh = True
+                return packet
+            # Head frame still larger than the accumulated credit: the
+            # deficit carries to the next round, move to the next class.
+            active.rotate(-1)
+            self.fresh = True
+        return None
+
+    def depth(self) -> int:
+        return sum(len(queue) for queue in self.queues.values())
 
 
 class LinkEnd:
@@ -37,7 +118,7 @@ class LinkEnd:
     """
 
     __slots__ = ("link", "node", "peer", "port", "bytes_carried",
-                 "packets_carried", "_busy_until", "_in_flight")
+                 "packets_carried", "_busy_until", "_in_flight", "_arb")
 
     def __init__(self, link: "Link", node: "Node", peer: "Node", port: int):
         self.link = link
@@ -48,10 +129,20 @@ class LinkEnd:
         self.packets_carried = 0
         self._busy_until = 0.0
         self._in_flight = 0
+        self._arb: Optional[_WrrArbiter] = None
 
     def transmit(self, packet: "Packet") -> None:
         """Enqueue for transmission (never blocks the sender)."""
         link = self.link
+        arb = self._arb
+        if arb is not None:
+            self._in_flight += 1
+            arb.enqueue(packet)
+            if link.tracer is not None:
+                link.tracer.count("switch.wrr.enqueued")
+            if not arb.sending:
+                self._wrr_start_next()
+            return
         sim = link.sim
         now = sim.now
         start = self._busy_until
@@ -71,6 +162,36 @@ class LinkEnd:
         if link._drop(packet):
             return
         # Propagation happens after the last bit leaves the wire.
+        link.sim.schedule(link.latency_us, self._deliver, packet)
+
+    # -- weighted-round-robin egress ---------------------------------------
+    def _wrr_start_next(self) -> None:
+        """Put the arbiter's next pick on the wire (if any)."""
+        arb = self._arb
+        assert arb is not None
+        packet = arb.next_packet()
+        if packet is None:
+            return
+        arb.sending = True
+        link = self.link
+        link.sim.schedule(packet.size_bytes / link._bytes_per_us,
+                          self._wrr_tx_done, packet)
+
+    def _wrr_tx_done(self, packet: "Packet") -> None:
+        arb = self._arb
+        self._in_flight -= 1
+        self.bytes_carried += packet.size_bytes
+        self.packets_carried += 1
+        link = self.link
+        if link.tracer is not None:
+            link.tracer.count(f"switch.wrr.tx.{traffic_class(packet)}")
+        if arb is not None:
+            # The wire is free: start the next arbitration pick before
+            # this packet's propagation, exactly like the FIFO model.
+            arb.sending = False
+            self._wrr_start_next()
+        if link._drop(packet):
+            return
         link.sim.schedule(link.latency_us, self._deliver, packet)
 
     def _deliver(self, packet: "Packet") -> None:
@@ -129,6 +250,37 @@ class Link:
     def transmission_time_us(self, size_bytes: int) -> float:
         """Serialization delay of ``size_bytes`` onto the wire."""
         return size_bytes / self._bytes_per_us
+
+    def set_egress_weights(
+        self,
+        weights: Optional[Dict[str, int]],
+        quantum_bytes: int = DEFAULT_WRR_QUANTUM_BYTES,
+        default_weight: int = 1,
+    ) -> None:
+        """Enable (or, with ``None``, disable) weighted-round-robin
+        egress arbitration on both directions of this link.
+
+        ``weights`` maps traffic-class names (``coherence``/``transport``/
+        ``pubsub`` or any per-tenant override stamped via
+        ``Packet.tclass``) to integer weights; classes not listed get
+        ``default_weight``.  Each class earns ``quantum_bytes × weight``
+        of credit per round-robin visit.  Packets already accepted by the
+        FIFO path complete on their original schedule; reconfigure
+        between traffic phases, not mid-burst.
+        """
+        if weights is None:
+            self.end_ab._arb = None
+            self.end_ba._arb = None
+            return
+        if quantum_bytes <= 0:
+            raise ValueError("quantum_bytes must be positive")
+        if default_weight < 1:
+            raise ValueError("default_weight must be >= 1")
+        for cls, weight in weights.items():
+            if weight < 1:
+                raise ValueError(f"weight for class {cls!r} must be >= 1")
+        self.end_ab._arb = _WrrArbiter(weights, quantum_bytes, default_weight)
+        self.end_ba._arb = _WrrArbiter(weights, quantum_bytes, default_weight)
 
     def end_from(self, node: "Node") -> LinkEnd:
         """The transmit half owned by ``node``."""

@@ -30,9 +30,34 @@ __all__ = [
     "HEADER_BYTES",
     "OID_FIELD_BYTES",
     "DEFAULT_TTL",
+    "TCLASS_COHERENCE",
+    "TCLASS_TRANSPORT",
+    "TCLASS_PUBSUB",
+    "traffic_class",
 ]
 
 BROADCAST = "*"
+
+# Traffic classes for egress arbitration.  A packet's class is stamped
+# by its source: explicitly via :attr:`Packet.tclass` (the per-tenant
+# override a loadgen tenant or host can set), or implicitly from the
+# message-kind namespace — coherence (``coh.*``), pub/sub (``ps.*``),
+# and everything else (RPC/transport/discovery) as transport.
+TCLASS_COHERENCE = "coherence"
+TCLASS_TRANSPORT = "transport"
+TCLASS_PUBSUB = "pubsub"
+
+
+def traffic_class(packet: "Packet") -> str:
+    """The egress-arbitration class of ``packet`` (explicit stamp wins)."""
+    if packet.tclass is not None:
+        return packet.tclass
+    kind = packet.kind
+    if kind.startswith("coh."):
+        return TCLASS_COHERENCE
+    if kind.startswith("ps."):
+        return TCLASS_PUBSUB
+    return TCLASS_TRANSPORT
 
 # Modelled fixed header: kind/src/dst/seq + ethernet-ish framing.
 HEADER_BYTES = 42
@@ -63,6 +88,7 @@ class Packet:
     uid: int = field(default_factory=lambda: next(_packet_ids))
     hops: int = 0
     created_at: float = 0.0
+    tclass: Optional[str] = None  # explicit egress-arbitration class
 
     def __post_init__(self) -> None:
         if self.payload_bytes < 0:
@@ -103,6 +129,7 @@ class Packet:
             payload_bytes=self.payload_bytes,
             ttl=self.ttl,
             created_at=self.created_at,
+            tclass=self.tclass,
         )
         twin.uid = self.uid
         twin.hops = self.hops

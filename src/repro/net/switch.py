@@ -14,6 +14,14 @@ Each switch runs a two-stage pipeline, mirroring the P4 program of §4:
 Flooding in the looped 4-switch topology is made safe by per-switch
 duplicate suppression (each switch forwards a given packet UID at most
 once) plus TTL decrement — a stand-in for a spanning tree.
+
+Duplicate suppression keeps **two** bounded windows: one for
+flood-capable traffic (broadcast, unknown unicast, identity-routed,
+service requests — anything whose copies can loop back), and a separate
+one for packets forwarded by exact host-table match, which follow
+BFS-tree parent pointers and cannot loop.  Segregating them means heavy
+known-unicast load can never evict live flood UIDs and re-arm a
+forwarding loop.
 """
 
 from __future__ import annotations
@@ -64,7 +72,11 @@ class Switch(Node):
             sram=sram,
             capacity_override=identity_capacity,
         )
+        # Flood-capable packets (their copies can loop back to us).
         self._seen_broadcasts: "OrderedDict[int, None]" = OrderedDict()
+        # Exact host-table forwards (loop-free; kept apart so unicast
+        # churn cannot evict live flood UIDs from the window above).
+        self._seen_unicast: "OrderedDict[int, None]" = OrderedDict()
         self._punt_handler: Optional[Callable[[Packet, int], None]] = None
         # Data-plane services (§5: offloading synchronization to the
         # programmable network): packets addressed to this switch's own
@@ -118,8 +130,19 @@ class Switch(Node):
             self.tracer.count("switch.tx")
             self.send_on_port(port, packet)
         else:
+            # Register our own flood before emitting it: in a looped
+            # fabric a copy comes back, and without the entry we would
+            # re-flood our own reply once per loop transit.
+            self._register_seen(self._seen_broadcasts, packet.uid)
             self.tracer.count("switch.unknown_unicast")
             self._flood_once(packet, in_port=-1)
+
+    @staticmethod
+    def _register_seen(window: "OrderedDict[int, None]", uid: int) -> None:
+        """Record ``uid`` in a dedupe window, trimming FIFO at capacity."""
+        window[uid] = None
+        if len(window) > _DEDUPE_WINDOW:
+            window.popitem(last=False)
 
     # -- data plane ----------------------------------------------------------
     def receive(self, packet: Packet, in_port: int) -> None:
@@ -134,13 +157,22 @@ class Switch(Node):
         # point back into the loop.  The first-copy rule makes every
         # learned entry a BFS-tree parent pointer toward the source, so
         # unicast replies can never loop.
-        seen = self._seen_broadcasts
-        if packet.uid in seen:
+        if packet.uid in self._seen_broadcasts or packet.uid in self._seen_unicast:
             tracer.count("switch.dup_suppressed")
             return
-        seen[packet.uid] = None
-        if len(seen) > _DEDUPE_WINDOW:
-            seen.popitem(last=False)
+        # Packets we will forward by exact host-table match follow the
+        # learned BFS tree and cannot loop; keeping them out of the
+        # flood window stops heavy unicast from evicting live flood
+        # UIDs (which would re-arm forwarding loops).
+        known_unicast = (
+            packet.dst is not None
+            and not packet.is_broadcast
+            and packet.dst != self.name
+            and packet.dst in self.host_table
+        )
+        self._register_seen(
+            self._seen_unicast if known_unicast else self._seen_broadcasts,
+            packet.uid)
         if packet.src:
             self.host_table[packet.src] = in_port
         if self.processing_delay_us > 0:

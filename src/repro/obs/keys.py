@@ -194,6 +194,10 @@ VOCABULARY: Tuple[KeySpec, ...] = (
        "In-network service invocations."),
     _k("switch.service_unknown", "counter", "1",
        "Service packets with no registered handler."),
+    _k("switch.wrr.*", "counter", "1",
+       "Deficit-WRR egress arbiter activity on configured links: "
+       "switch.wrr.enqueued per queued packet, switch.wrr.tx.<class> "
+       "per transmitted packet by traffic class."),
     # ---- link.* / event.* (tracer `net.links`, shared) ----------------------
     _k("link.dropped", "counter", "1",
        "Packets lost to link loss_rate or link failure."),
@@ -334,6 +338,15 @@ VOCABULARY: Tuple[KeySpec, ...] = (
        "Cached copies dropped in response to a probe."),
     _k("coherence.downgraded", "counter", "1",
        "Modified copies downgraded to Shared by a probe."),
+    _k("coherence.evict.shared", "counter", "1",
+       "Shared lines evicted by capacity pressure (notify or silent_drop)."),
+    _k("coherence.evict.modified", "counter", "1",
+       "Modified lines evicted by capacity pressure."),
+    _k("coherence.evict.writeback", "counter", "1",
+       "Capacity evictions that shipped dirty data back to the home."),
+    _k("coherence.probe_stale", "counter", "1",
+       "Probe acks answering 'not present': the home pruned a stale "
+       "sharer/owner that had silently dropped its copy."),
     _k("coherence.batch.acquire_pkts", "counter", "1",
        "Acquire packets sent (each may carry many requests)."),
     _k("coherence.batch.multi_acquire", "counter", "1",
