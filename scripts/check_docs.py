@@ -78,6 +78,7 @@ INSTRUMENTED = (
     "discovery/sharded.py",
     "memproto/transport.py",
     "memproto/coherence.py",
+    "memproto/pool.py",
     "core/proxies.py",
     "loadgen/generator.py",
     "pubsub/fabric.py",

@@ -1266,3 +1266,193 @@ def coherence_capacity_sweep(seed: int, scale: dict) -> ScenarioResult:
         "largest capacity (== working set) still evicted")
     return ScenarioResult(ops=total_ops, sim_time_us=total_time,
                           counters=counters)
+
+
+# ---------------------------------------------------------------------------
+# memproto: the shared-memory pool tier vs the batched packet transport
+# ---------------------------------------------------------------------------
+
+
+@register(
+    "pool.crossover",
+    "pool load vs batched transport fetch across object sizes (E23)",
+    quick={"sizes": (256, 1_024, 4_096, 16_384, 65_536)},
+    full={"sizes": (128, 256, 512, 1_024, 2_048, 4_096, 8_192,
+                    16_384, 32_768, 65_536, 131_072)},
+)
+def pool_crossover(seed: int, scale: dict) -> ScenarioResult:
+    """Object-size sweep of the two ways to reach a remote object: a
+    zero-copy load through the rack pool (one far-memory latency, port
+    rate streaming) against a request/response fetch over the batched
+    reliable transport (fixed per-packet round trip, NIC-rate bulk).
+    The pool must win below the crossover and lose above it — the sign
+    of (pool - transport) flips exactly once as size grows — and the
+    pool's byte accounting must balance exactly."""
+    from repro.core import IDAllocator
+    from repro.memproto import (CoherenceAgent, LightweightTransport,
+                                SharedMemoryPool)
+    from repro.net import build_star
+    from repro.sim import Simulator
+
+    sizes = scale["sizes"]
+    counters = {}
+    diffs = []
+    total_time = 0.0
+    crossover = None
+    for size in sizes:
+        sim = Simulator(seed=seed)
+        net = build_star(sim, 2)
+        # Arm A: fetch over the batched transport — a small request to
+        # the holder, the object image back as one bulk payload.
+        server = LightweightTransport(net.host("h0"))
+        client = LightweightTransport(net.host("h1"))
+        done = {}
+        server.on_deliver(
+            lambda src, payload, nbytes, _s=size: server.send(
+                src, {"rsp": payload["i"]}, payload_bytes=_s))
+        client.on_deliver(
+            lambda src, payload, nbytes: done.__setitem__("at", sim.now))
+        start = sim.now
+        client.send("h0", {"i": 0}, payload_bytes=64)
+        sim.run()
+        transport_us = done["at"] - start
+        # Arm B: the same object, pool-mapped by its home and read by a
+        # rack-mate through the coherence agent's pool fast path.
+        home_map = {}
+        home = CoherenceAgent(net.host("h0"), home_map)
+        reader = CoherenceAgent(net.host("h1"), home_map)
+        pool = SharedMemoryPool(sim, "rack0", ("h0", "h1"),
+                                capacity_bytes=max(sizes) * 2)
+        home.attach_pool(pool)
+        reader.attach_pool(pool)
+        alloc = IDAllocator(seed=seed)
+        oid = alloc.allocate()
+        home.host_object(oid, b"\x5a" * size)
+        home.map_to_pool(oid)
+        start = sim.now
+
+        def proc():
+            chunk = yield from reader.read(oid, 0, size)
+            assert len(chunk) == size
+            return None
+
+        sim.run_process(proc(), name=f"pool-read-{size}")
+        pool_us = sim.now - start
+        assert reader.tracer.counters.get("coherence.pool_hit") == 1, (
+            "pool-mapped read did not take the pool fast path")
+        # Accounting balance: every reserved byte is visible in the
+        # counters, and unmapping returns the pool to empty.
+        pc = pool.tracer.counters
+        assert pool.reserved_bytes == (pc.get("pool.map_bytes")
+                                       - pc.get("pool.release_bytes")), (
+            "pool reservation does not match map/release counters")
+        assert pool.unmap(oid)
+        assert pool.reserved_bytes == 0 and pool.mapped_count() == 0
+        pc = pool.tracer.counters
+        assert pc.get("pool.map_bytes") == pc.get("pool.release_bytes"), (
+            "pool byte accounting does not balance after unmap")
+        diff = pool_us - transport_us
+        diffs.append(diff)
+        if crossover is None and diff >= 0:
+            crossover = size
+        counters[f"s{size}.pool_us"] = round(pool_us)
+        counters[f"s{size}.net_us"] = round(transport_us)
+        total_time += sim.now
+    # The economics the tier exists for: the pool wins on small objects
+    # (no per-hop request leg, no marshalling) and loses on bulk (its
+    # port streams below NIC rate), flipping exactly once.
+    assert diffs[0] < 0, (
+        f"pool slower than transport even at {sizes[0]}B: {diffs[0]:+.2f}us")
+    assert diffs[-1] > 0, (
+        f"pool still faster at {sizes[-1]}B — no crossover in sweep")
+    assert all(a < b for a, b in zip(diffs, diffs[1:])), (
+        f"pool-vs-transport gap not monotone in size: {diffs}")
+    counters["crossover_bytes"] = crossover
+    return ScenarioResult(ops=len(sizes) * 2, sim_time_us=total_time,
+                          counters=counters)
+
+
+@register(
+    "pool.capacity_pressure",
+    "overcommitted pool: LRU eviction and graceful fallback to packets",
+    quick={"objects": 32, "object_bytes": 1_024, "rounds": 3,
+           "capacities": (8_192, 16_384, 32_768)},
+    full={"objects": 128, "object_bytes": 1_024, "rounds": 4,
+          "capacities": (16_384, 32_768, 65_536, 131_072)},
+)
+def pool_capacity_pressure(seed: int, scale: dict) -> ScenarioResult:
+    """Sweep pool capacity across a fixed working set the home tries to
+    map in full.  Under overcommit the pool LRU-evicts earlier mappings;
+    readers of evicted objects degrade to the packet path instead of
+    failing.  As capacity grows, evictions fall monotonically to zero
+    and pool hits rise until the whole set is served by loads."""
+    from repro.core import IDAllocator
+    from repro.memproto import CoherenceAgent, SharedMemoryPool
+    from repro.net import build_star
+    from repro.sim import Simulator
+
+    objects = scale["objects"]
+    size = scale["object_bytes"]
+    rounds = scale["rounds"]
+    counters = {}
+    evictions_by_cap = []
+    pool_hits_by_cap = []
+    fallbacks_by_cap = []
+    total_time = 0.0
+    for capacity in scale["capacities"]:
+        sim = Simulator(seed=seed)
+        net = build_star(sim, 2)
+        home_map = {}
+        home = CoherenceAgent(net.host("h0"), home_map)
+        reader = CoherenceAgent(net.host("h1"), home_map)
+        pool = SharedMemoryPool(sim, "rack0", ("h0", "h1"),
+                                capacity_bytes=capacity)
+        home.attach_pool(pool)
+        reader.attach_pool(pool)
+        alloc = IDAllocator(seed=seed)
+        oids = []
+        for i in range(objects):
+            oid = alloc.allocate()
+            home.host_object(oid, bytes([i % 256]) * size)
+            oids.append(oid)
+            # Overcommitted mapping: later maps evict the LRU mappings.
+            home.map_to_pool(oid)
+
+        def proc():
+            for _ in range(rounds):
+                for oid in oids:
+                    chunk = yield from reader.read(oid, 0, size)
+                    assert len(chunk) == size
+            return None
+
+        sim.run_process(proc(), name=f"pressure-{capacity}")
+        pc = pool.tracer.counters
+        rc = reader.tracer.counters
+        evictions = pc.get("pool.evict")
+        pool_hits = rc.get("coherence.pool_hit")
+        fallbacks = rc.get("coherence.read_miss")
+        prefix = f"cap{capacity}."
+        counters[prefix + "evict"] = evictions
+        counters[prefix + "pool_hit"] = pool_hits
+        counters[prefix + "read_miss"] = fallbacks
+        counters[prefix + "mapped_after"] = pool.mapped_count()
+        evictions_by_cap.append(evictions)
+        pool_hits_by_cap.append(pool_hits)
+        fallbacks_by_cap.append(fallbacks)
+        total_time += sim.now
+    assert all(a >= b for a, b in zip(evictions_by_cap,
+                                      evictions_by_cap[1:])), (
+        f"evictions not monotone non-increasing: {evictions_by_cap}")
+    assert all(a <= b for a, b in zip(pool_hits_by_cap,
+                                      pool_hits_by_cap[1:])), (
+        f"pool hits not monotone non-decreasing: {pool_hits_by_cap}")
+    assert all(a >= b for a, b in zip(fallbacks_by_cap,
+                                      fallbacks_by_cap[1:])), (
+        f"packet fallbacks not monotone non-increasing: {fallbacks_by_cap}")
+    assert evictions_by_cap[0] > 0, "smallest capacity evicted nothing"
+    assert evictions_by_cap[-1] == 0, (
+        "largest capacity (== working set) still evicted")
+    assert fallbacks_by_cap[-1] == 0, (
+        "full-capacity pool still fell back to the packet path")
+    return ScenarioResult(ops=objects * rounds * len(scale["capacities"]),
+                          sim_time_us=total_time, counters=counters)

@@ -12,6 +12,7 @@ a placement decision needs to model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Tuple
 
 __all__ = [
     "LatencyHierarchy",
@@ -19,7 +20,18 @@ __all__ = [
     "TransferEstimate",
     "DEFAULT_HIERARCHY",
     "DEFAULT_COST_MODEL",
+    "TIER_DRAM",
+    "TIER_POOL",
+    "TIER_NETWORK",
 ]
+
+# Staging tiers the placement estimator resolves between: an input is
+# either already resident (local DRAM), reachable as a load/store
+# through an intra-rack shared-memory pool, or fetched over the packet
+# network.
+TIER_DRAM = "dram"
+TIER_POOL = "pool"
+TIER_NETWORK = "network"
 
 
 @dataclass(frozen=True)
@@ -80,6 +92,13 @@ class CostModel:
       deserialize+load dominates sparse-model serving at ~70% (§2, E4).
     * ``byte_copy_ns_per_byte`` — the global-address-space alternative: a
       straight memcpy of the object image.
+    * ``pool_bandwidth_gbps`` — effective streaming rate of synchronous
+      load/store through an intra-rack shared-memory pool port.  Far
+      lower than NIC line rate: pool accesses are CPU loads against far
+      memory, which do not pipeline like DMA — so the pool tier wins on
+      fixed cost (one ``remote_memory_us`` access, no request leg, no
+      marshalling) and loses on bulk, the crossover experiment E23
+      measures.
     """
 
     link_bandwidth_gbps: float = 100.0
@@ -88,10 +107,11 @@ class CostModel:
     deserialize_ns_per_byte: float = 6.0
     byte_copy_ns_per_byte: float = 0.05
     compute_ns_per_flop: float = 0.25
+    pool_bandwidth_gbps: float = 2.0
     hierarchy: LatencyHierarchy = field(default_factory=LatencyHierarchy)
 
     def __post_init__(self) -> None:
-        if self.link_bandwidth_gbps <= 0:
+        if self.link_bandwidth_gbps <= 0 or self.pool_bandwidth_gbps <= 0:
             raise ValueError("bandwidth must be positive")
         if min(
             self.link_latency_us,
@@ -160,6 +180,55 @@ class CostModel:
             transfer_us=request_leg_us + self.wire_time_us(nbytes, hops),
             deserialize_us=copy_us,
         )
+
+    # -- staging tiers --------------------------------------------------------
+    def dram_transfer(self, nbytes: int) -> TransferEstimate:
+        """Touching ``nbytes`` already resident in local DRAM: one access
+        latency plus a memcpy — the floor every other tier is priced
+        against."""
+        return TransferEstimate(
+            bytes_moved=0,
+            serialize_us=0.0,
+            transfer_us=self.hierarchy.local_dram_us
+            + self.byte_copy_time_us(nbytes),
+            deserialize_us=0.0,
+        )
+
+    def pool_transfer(self, nbytes: int) -> TransferEstimate:
+        """Staging ``nbytes`` through an intra-rack shared-memory pool:
+        one far-memory access (``hierarchy.remote_memory_us``) plus
+        synchronous load/store streaming at the pool port rate.  No
+        request leg, no serialization walk, no staging memcpy — the
+        mapping is zero-copy."""
+        if nbytes < 0:
+            raise ValueError("bytes must be non-negative")
+        bytes_per_us = self.pool_bandwidth_gbps * 1e9 / 8 / 1e6
+        return TransferEstimate(
+            bytes_moved=nbytes,
+            serialize_us=0.0,
+            transfer_us=self.hierarchy.remote_memory_us + nbytes / bytes_per_us,
+            deserialize_us=0.0,
+        )
+
+    def resolve_tier(self, nbytes: int, hops: int = 1,
+                     resident: bool = False,
+                     pooled: bool = False) -> Tuple[str, TransferEstimate]:
+        """Cheapest staging tier for ``nbytes``: ``(tier, estimate)``.
+
+        ``resident`` short-circuits to the DRAM tier; otherwise the
+        network fetch competes with the pool tier when ``pooled`` says a
+        mapped copy is reachable.  The pool wins on small objects (no
+        per-hop request leg) and loses on bulk (its port streams below
+        NIC line rate), so the choice genuinely flips with size.
+        """
+        if resident:
+            return TIER_DRAM, self.dram_transfer(nbytes)
+        tier, estimate = TIER_NETWORK, self.fetch_transfer(nbytes, hops)
+        if pooled:
+            via_pool = self.pool_transfer(nbytes)
+            if via_pool.total_us < estimate.total_us:
+                tier, estimate = TIER_POOL, via_pool
+        return tier, estimate
 
 
 DEFAULT_COST_MODEL = CostModel()

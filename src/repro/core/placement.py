@@ -25,7 +25,14 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..sim import Tracer
-from .costmodel import CostModel, DEFAULT_COST_MODEL
+from .costmodel import (
+    CostModel,
+    DEFAULT_COST_MODEL,
+    TIER_DRAM,
+    TIER_NETWORK,
+    TIER_POOL,
+)
+from .objectid import ObjectID
 from .refs import GlobalRef
 
 __all__ = [
@@ -36,11 +43,17 @@ __all__ = [
     "PlacementDecision",
     "PlacementEngine",
     "PlacementError",
+    "PoolOracle",
 ]
 
 # Hop-count oracle between named nodes; the runtime supplies one backed
 # by the simulated topology.
 DistanceFn = Callable[[str, str], int]
+
+# Pool oracle: ``(node_name, oid) -> pool name`` when the object is
+# reachable through a shared-memory pool the node is attached to, else
+# None.  The runtime supplies one backed by its registered pools.
+PoolOracle = Callable[[str, ObjectID], Optional[str]]
 
 
 class PlacementError(Exception):
@@ -105,13 +118,17 @@ class PlacementRequest:
 
 @dataclass(frozen=True)
 class MovementPlan:
-    """One planned object movement: what, from where, to where, cost."""
+    """One planned object movement: what, from where, to where, cost.
+
+    ``tier`` records which staging tier priced the movement — a pool
+    movement's ``source`` names the pool, not a replica host."""
 
     ref: GlobalRef
     size_bytes: int
     source: str
     destination: str
     transfer_us: float
+    tier: str = TIER_NETWORK
 
 
 @dataclass
@@ -126,6 +143,9 @@ class PlacementDecision:
     result_return_us: float
     total_us: float
     considered: Dict[str, float] = field(default_factory=dict)
+    # Per-tier item counts of the winning plan (resident inputs land in
+    # the dram tier even though they plan no movement).
+    tiers: Dict[str, int] = field(default_factory=dict)
 
     @property
     def bytes_moved(self) -> int:
@@ -142,11 +162,19 @@ class PlacementEngine:
         queue_penalty_us: float = 50.0,
         transfer_blind: bool = False,
         tracer: Optional[Tracer] = None,
+        pool_oracle: Optional[PoolOracle] = None,
     ):
         self.cost_model = cost_model
         self.queue_penalty_us = queue_penalty_us
         self.transfer_blind = transfer_blind
         self.tracer = tracer if tracer is not None else Tracer()
+        self.pool_oracle = pool_oracle
+
+    def set_pool_oracle(self, oracle: Optional[PoolOracle]) -> None:
+        """Install (or clear) the pool reachability oracle.  Without one
+        every non-resident input is priced as a network fetch, exactly
+        the pre-pool behaviour."""
+        self.pool_oracle = oracle
 
     # -- candidate evaluation ------------------------------------------------
     def _nearest_source(
@@ -168,15 +196,29 @@ class PlacementEngine:
         movements: List[MovementPlan] = []
         staged_bytes = 0
         stage_in_us = 0.0
+        tiers: Dict[str, int] = {}
         for item in items:
             if node.name in item.locations:
+                tiers[TIER_DRAM] = tiers.get(TIER_DRAM, 0) + 1
                 continue  # already resident
             if item.pinned:
                 return None  # this input may not move; node infeasible
             source, hops = self._nearest_source(item, node.name, distance)
-            transfer = self.cost_model.fetch_transfer(item.size_bytes, hops=max(hops, 1))
+            pool_name = (
+                self.pool_oracle(node.name, item.ref.oid)
+                if self.pool_oracle is not None
+                else None
+            )
+            tier, transfer = self.cost_model.resolve_tier(
+                item.size_bytes, hops=max(hops, 1), pooled=pool_name is not None
+            )
+            if tier == TIER_POOL:
+                source = pool_name  # staged as a load from the pool, not a replica
+            tiers[tier] = tiers.get(tier, 0) + 1
             movements.append(
-                MovementPlan(item.ref, item.size_bytes, source, node.name, transfer.total_us)
+                MovementPlan(
+                    item.ref, item.size_bytes, source, node.name, transfer.total_us, tier
+                )
             )
             staged_bytes += item.size_bytes
             # Inputs are fetched in parallel: latency is the slowest fetch.
@@ -202,6 +244,7 @@ class PlacementEngine:
             compute_us=compute_us,
             result_return_us=result_return_us,
             total_us=total,
+            tiers=tiers,
         )
 
     def decide(
@@ -243,4 +286,6 @@ class PlacementEngine:
         best.considered = considered
         self.tracer.count("placement.decisions")
         self.tracer.sample("placement.est_total_us", best.total_us)
+        for tier, n in best.tiers.items():
+            self.tracer.count(f"placement.tier.{tier}", n)
         return best

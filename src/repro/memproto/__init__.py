@@ -29,6 +29,12 @@ from .messages import (
     write_ack,
     write_request,
 )
+from .pool import (
+    POOL_BANDWIDTH_GBPS,
+    PoolCapacityError,
+    PoolError,
+    SharedMemoryPool,
+)
 from .resolve import CoherentProxyResolver
 from .transport import LightweightTransport, TcpLikeTransport, TransportError
 
@@ -60,4 +66,8 @@ __all__ = [
     "PERM_MODIFIED",
     "EVICT_NOTIFY",
     "EVICT_SILENT_DROP",
+    "SharedMemoryPool",
+    "PoolError",
+    "PoolCapacityError",
+    "POOL_BANDWIDTH_GBPS",
 ]

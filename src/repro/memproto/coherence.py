@@ -43,6 +43,7 @@ from ..core.objectid import ObjectID
 from ..sim import Future, ScheduledEvent, Simulator, Tracer
 from ..net.host import Host
 from ..net.packet import Packet
+from .pool import SharedMemoryPool
 from .messages import (
     COHERENCE_ENTRY_BYTES,
     MSG_ACQUIRE,
@@ -180,12 +181,51 @@ class CoherenceAgent:
         # invalidations, so cached derivatives of our cache entries are
         # dropped the instant the protocol drops the entry itself.
         self._invalidation_listeners: List[Any] = []
+        # Optional intra-rack shared-memory pool (see attach_pool): a
+        # zero-copy read fast path consulted before the packet path.
+        self._pool: Optional[SharedMemoryPool] = None
 
     def add_invalidation_listener(self, callback) -> None:
         """Call ``callback(oid)`` whenever a probe invalidates a cached
         copy on this host (the coherence-integrated invalidation hook
         the lazy-proxy layer registers through)."""
         self._invalidation_listeners.append(callback)
+
+    # -- shared-memory pool fast path -----------------------------------------
+    def attach_pool(self, pool: SharedMemoryPool) -> None:
+        """Join the rack pool ``pool``: reads of pool-mapped objects are
+        served as loads through the pool window instead of the batched
+        acquire/grant packet path.  Only rack members may attach."""
+        if not pool.attached(self.host.name):
+            raise CoherenceError(
+                f"{self.host.name} is not a member of pool {pool.name!r}")
+        self._pool = pool
+
+    def map_to_pool(self, oid: ObjectID) -> None:
+        """Home-only: publish ``oid``'s authoritative bytes into the
+        attached pool (zero-copy exchange for every rack member).
+
+        Refused while a remote Modified copy is outstanding — the
+        directory data would be stale.  The mapping is dropped again the
+        instant any writer is granted Modified permission, so MSI state
+        stays authoritative over the pool's snapshot."""
+        if self._pool is None:
+            raise CoherenceError(f"{self.host.name} has no attached pool")
+        directory = self._home_directory(oid)
+        if directory.owner is not None:
+            raise CoherenceError(
+                f"cannot pool-map {oid.short()} while {directory.owner} "
+                f"holds a Modified copy")
+        self._pool.map_object(oid, bytes(directory.data))
+
+    def _pool_read(self, oid: ObjectID) -> bool:
+        """True when a read of ``oid`` should go through the pool."""
+        return self._pool is not None and self._pool.mapped(oid)
+
+    def _pool_invalidate(self, oid: ObjectID) -> None:
+        """Drop any pool mapping of ``oid`` before a write can land."""
+        if self._pool is not None:
+            self._pool.invalidate(oid)
 
     # -- object registration --------------------------------------------------
     def host_object(self, oid: ObjectID, data: bytes) -> None:
@@ -311,6 +351,13 @@ class CoherenceAgent:
             self._touch(oid)
             self._check_range(oid, len(entry.data), offset, length)
             return bytes(entry.data[offset : offset + length])
+        if self._pool_read(oid):
+            # Pool-mapped: one load through the rack pool, no packets.
+            # No cache entry is installed (a load is a one-shot access,
+            # not a cache fill), so we owe the directory nothing.
+            self.tracer.count("coherence.pool_hit")
+            chunk = yield from self._pool.load(oid, offset, length)
+            return chunk
         self.tracer.count("coherence.read_miss")
         entry = yield from self._acquire(oid, PERM_SHARED)
         self._check_range(oid, len(entry.data), offset, length)
@@ -328,9 +375,11 @@ class CoherenceAgent:
         by_home: Dict[str, List[Tuple[int, ObjectID, int, Future]]] = {}
         for index, oid in enumerate(oids):
             entry = self._cache.get(oid)
-            if entry is not None or self._home_of(oid) == self.host.name:
-                # Cached or home-resident: the single-object path already
-                # serves these without network traffic.
+            if (entry is not None or self._home_of(oid) == self.host.name
+                    or self._pool_read(oid)):
+                # Cached, home-resident, or pool-mapped: the
+                # single-object path already serves these without
+                # acquire/grant traffic.
                 results[index] = yield from self.read(oid, offset, length)
                 continue
             self.tracer.count("coherence.read_miss")
@@ -380,6 +429,12 @@ class CoherenceAgent:
                 self.tracer.count("coherence.home_hit")
                 results[oid] = bytes(directory.data)
                 continue
+            if self._pool_read(oid):
+                # The proxy resolver's fast path: the whole image comes
+                # out of the rack pool in one load, no packets.
+                self.tracer.count("coherence.pool_hit")
+                results[oid] = yield from self._pool.load(oid)
+                continue
             self.tracer.count("coherence.read_miss")
             req_id = next(_req_ids)
             future = Future(self.sim, name=f"bulk-{req_id}")
@@ -416,6 +471,9 @@ class CoherenceAgent:
             directory = self._home_directory(oid)
             self._check_range(oid, len(directory.data), offset, len(data))
             yield from self._home_local_barrier(oid, PERM_MODIFIED)
+            # A pool mapping would now serve stale bytes: drop it so
+            # rack readers fall back to the (coherent) packet path.
+            self._pool_invalidate(oid)
             directory.data[offset : offset + len(data)] = data
             self.tracer.count("coherence.home_write")
             return
@@ -688,6 +746,10 @@ class CoherenceAgent:
         # ship fresh data (checked before we mutate the sharer set).
         upgrade_without_data = txn.upgrade and requester in directory.sharers
         if perm == PERM_MODIFIED:
+            # MSI stays authoritative over the pool: the mapping is
+            # dropped before any writer can touch the data, so a pool
+            # load can never observe post-grant bytes.
+            self._pool_invalidate(oid)
             directory.sharers.discard(requester)
             directory.owner = requester
         else:

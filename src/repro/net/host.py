@@ -115,8 +115,13 @@ class Host(Node):
             return
         if self.port_count == 0:
             raise NodeError(f"{self.name}: not attached to any link")
-        packet.src = packet.src or self.name
-        packet.created_at = packet.created_at or self.sim.now
+        # Stamp only genuinely unset fields: a packet legitimately
+        # created at sim time 0.0 (or carrying an empty-string src) must
+        # keep its own stamp, or latency attribution at t=0 corrupts.
+        if packet.src is None:
+            packet.src = self.name
+        if packet.created_at is None:
+            packet.created_at = self.sim.now
         if packet.tclass is None and self.default_tclass is not None:
             packet.tclass = self.default_tclass
         self.tracer.count("host.tx")

@@ -174,25 +174,77 @@ class LinkEnd:
             return
         arb.sending = True
         link = self.link
-        link.sim.schedule(packet.size_bytes / link._bytes_per_us,
-                          self._wrr_tx_done, packet)
+        sim = link.sim
+        now = sim.now
+        # Serialize behind whatever already occupies the wire (a FIFO
+        # packet accepted before arbitration was enabled, or a frame the
+        # previous arbiter put in flight before a reconfigure).  In the
+        # steady state the arbiter restarts exactly at the busy horizon,
+        # so this is the original schedule.
+        start = self._busy_until
+        if start < now:
+            start = now
+        done = start + packet.size_bytes / link._bytes_per_us
+        self._busy_until = done
+        sim.schedule(done - now, self._wrr_tx_done, packet, arb)
 
-    def _wrr_tx_done(self, packet: "Packet") -> None:
-        arb = self._arb
+    def _wrr_tx_done(self, packet: "Packet", arb: _WrrArbiter) -> None:
+        # ``arb`` is the arbiter that scheduled this transmission — it
+        # may no longer be installed (reconfigured mid-flight), so the
+        # completion must not restart it; only the *current* discipline
+        # gets the freed wire.
         self._in_flight -= 1
         self.bytes_carried += packet.size_bytes
         self.packets_carried += 1
         link = self.link
         if link.tracer is not None:
             link.tracer.count(f"switch.wrr.tx.{traffic_class(packet)}")
-        if arb is not None:
+        arb.sending = False
+        current = self._arb
+        if current is not None and not current.sending:
             # The wire is free: start the next arbitration pick before
             # this packet's propagation, exactly like the FIFO model.
-            arb.sending = False
             self._wrr_start_next()
         if link._drop(packet):
             return
         link.sim.schedule(link.latency_us, self._deliver, packet)
+
+    def _fifo_requeue(self, packet: "Packet") -> None:
+        """Busy-until FIFO scheduling for a packet whose ``_in_flight``
+        slot is already accounted (drained out of a retired arbiter)."""
+        link = self.link
+        sim = link.sim
+        now = sim.now
+        start = self._busy_until
+        if start < now:
+            start = now
+        done = start + packet.size_bytes / link._bytes_per_us
+        self._busy_until = done
+        sim.schedule(done - now, self._tx_done, packet)
+
+    def set_arbiter(self, arb: Optional[_WrrArbiter]) -> None:
+        """Install (or, with ``None``, remove) the egress arbiter,
+        draining any packets still queued in the old discipline into the
+        new one — queued packets are never orphaned and ``_in_flight``
+        accounting stays balanced across reconfiguration."""
+        old = self._arb
+        self._arb = arb
+        if old is None:
+            return
+        drained = 0
+        while True:
+            packet = old.next_packet()
+            if packet is None:
+                break
+            drained += 1
+            if arb is not None:
+                arb.enqueue(packet)
+            else:
+                self._fifo_requeue(packet)
+        if drained and self.link.tracer is not None:
+            self.link.tracer.count("switch.wrr.drained", drained)
+        if arb is not None and not arb.sending and arb.depth():
+            self._wrr_start_next()
 
     def _deliver(self, packet: "Packet") -> None:
         packet.hops += 1
@@ -265,12 +317,15 @@ class Link:
         ``Packet.tclass``) to integer weights; classes not listed get
         ``default_weight``.  Each class earns ``quantum_bytes × weight``
         of credit per round-robin visit.  Packets already accepted by the
-        FIFO path complete on their original schedule; reconfigure
-        between traffic phases, not mid-burst.
+        FIFO path complete on their original schedule.  Reconfiguring
+        mid-burst is safe: packets still queued in the old discipline
+        are drained into the new one (or FIFO-scheduled when disabling),
+        and a frame the old arbiter already put on the wire completes
+        without restarting the retired arbiter.
         """
         if weights is None:
-            self.end_ab._arb = None
-            self.end_ba._arb = None
+            self.end_ab.set_arbiter(None)
+            self.end_ba.set_arbiter(None)
             return
         if quantum_bytes <= 0:
             raise ValueError("quantum_bytes must be positive")
@@ -279,8 +334,8 @@ class Link:
         for cls, weight in weights.items():
             if weight < 1:
                 raise ValueError(f"weight for class {cls!r} must be >= 1")
-        self.end_ab._arb = _WrrArbiter(weights, quantum_bytes, default_weight)
-        self.end_ba._arb = _WrrArbiter(weights, quantum_bytes, default_weight)
+        self.end_ab.set_arbiter(_WrrArbiter(weights, quantum_bytes, default_weight))
+        self.end_ba.set_arbiter(_WrrArbiter(weights, quantum_bytes, default_weight))
 
     def end_from(self, node: "Node") -> LinkEnd:
         """The transmit half owned by ``node``."""

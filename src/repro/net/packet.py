@@ -79,7 +79,7 @@ class Packet:
     """
 
     kind: str
-    src: str
+    src: Optional[str]  # None: stamped with the sending host's name
     dst: Optional[str] = None
     oid: Optional[ObjectID] = None
     payload: Dict[str, Any] = field(default_factory=dict)
@@ -87,7 +87,7 @@ class Packet:
     ttl: int = DEFAULT_TTL
     uid: int = field(default_factory=lambda: next(_packet_ids))
     hops: int = 0
-    created_at: float = 0.0
+    created_at: Optional[float] = None  # None: stamped at first send
     tclass: Optional[str] = None  # explicit egress-arbitration class
 
     def __post_init__(self) -> None:
@@ -140,7 +140,7 @@ class Packet:
         """Build a unicast reply back to this packet's source."""
         return Packet(
             kind=kind,
-            src=self.dst if self.dst not in (None, BROADCAST) else "",
+            src=self.dst if self.dst not in (None, BROADCAST) else None,
             dst=self.src,
             payload=dict(payload or {}),
             payload_bytes=payload_bytes,

@@ -116,6 +116,11 @@ VOCABULARY: Tuple[KeySpec, ...] = (
        "Decisions that failed outright (no feasible candidate)."),
     _k("placement.est_total_us", "series", "µs",
        "Cost model's estimated total latency of each chosen plan."),
+    _k("placement.tier.*", "counter", "1",
+       "Stage-in items of each winning plan by resolved staging tier "
+       "(suffix dram, pool, or network): resident inputs count as dram, "
+       "pool-mapped inputs priced through CostModel.pool_transfer as "
+       "pool, everything else as a network fetch."),
     # ---- node.* (tracer `runtime.node.<host>`) ------------------------------
     _k("node.exec", "counter", "1", "Function executions started."),
     _k("node.materialized", "counter", "1",
@@ -197,7 +202,9 @@ VOCABULARY: Tuple[KeySpec, ...] = (
     _k("switch.wrr.*", "counter", "1",
        "Deficit-WRR egress arbiter activity on configured links: "
        "switch.wrr.enqueued per queued packet, switch.wrr.tx.<class> "
-       "per transmitted packet by traffic class."),
+       "per transmitted packet by traffic class, switch.wrr.drained "
+       "per packet carried over when the discipline is reconfigured "
+       "mid-burst."),
     # ---- link.* / event.* (tracer `net.links`, shared) ----------------------
     _k("link.dropped", "counter", "1",
        "Packets lost to link loss_rate or link failure."),
@@ -324,6 +331,9 @@ VOCABULARY: Tuple[KeySpec, ...] = (
        "Writes applied directly to the local authoritative copy."),
     _k("coherence.cache_hit", "counter", "1",
        "Reads/writes served from a valid cached copy."),
+    _k("coherence.pool_hit", "counter", "1",
+       "Reads served by a zero-copy load from a shared-memory pool "
+       "mapping instead of the packet path."),
     _k("coherence.read_miss", "counter", "1",
        "Reads that had to acquire a Shared copy."),
     _k("coherence.write_miss", "counter", "1",
@@ -365,6 +375,26 @@ VOCABULARY: Tuple[KeySpec, ...] = (
        "Grant entries with no pending request (duplicate delivery)."),
     _k("coherence.orphan_probe_ack", "counter", "1",
        "Probe-ack entries with no collecting transaction."),
+    # ---- pool.* (memproto SharedMemoryPool; tracer `memproto.pool.<name>`) ---
+    _k("pool.map", "counter", "1",
+       "Objects mapped into the pool (capacity reserved)."),
+    _k("pool.map_bytes", "counter", "bytes",
+       "Bytes reserved by pool mappings."),
+    _k("pool.unmap", "counter", "1",
+       "Mappings dropped explicitly by their home."),
+    _k("pool.evict", "counter", "1",
+       "LRU mappings evicted to make room under capacity pressure."),
+    _k("pool.invalidate", "counter", "1",
+       "Mappings dropped by an MSI coherence push (a writer was granted "
+       "Modified permission)."),
+    _k("pool.release_bytes", "counter", "bytes",
+       "Bytes released by unmap/evict/invalidate; reserved_bytes always "
+       "equals pool.map_bytes - pool.release_bytes."),
+    _k("pool.load", "counter", "1", "Pool loads served."),
+    _k("pool.load_bytes", "counter", "bytes", "Bytes read by pool loads."),
+    _k("pool.store", "counter", "1", "Pool stores applied."),
+    _k("pool.store_bytes", "counter", "bytes",
+       "Bytes written by pool stores."),
     # ---- proxy.* / prefetch.* (tracer `runtime.proxy.<host>`; see PROXIES.md)
     _k("proxy.resolve.lazy", "counter", "1",
        "Proxies first resolved by a demand dereference with no prefetch cover."),

@@ -51,6 +51,7 @@ from ..obs.keys import (
 )
 from ..obs.span import SpanRecorder
 from ..sim import AnyOf, Process, Resource, Simulator, Timeout, Tracer
+from ..memproto.pool import SharedMemoryPool
 from ..net.packet import Packet
 from ..net.topology import Network
 from ..rpc.serializer import decode, encode
@@ -245,6 +246,9 @@ class GlobalSpaceRuntime:
         self._invoke_ids = iter(range(1, 1 << 62))
         # MODE_ISOLATED object-set reservations (interference freedom).
         self.reservations = ReservationTable(self.sim)
+        # Registered shared-memory pools; feeds the placement estimator's
+        # tier resolution (see attach_pool).
+        self._pools: List[SharedMemoryPool] = []
 
     # -- cluster construction ------------------------------------------------
     def add_node(self, host_name: str, speed: float = 1.0,
@@ -277,6 +281,29 @@ class GlobalSpaceRuntime:
         if node is None:
             raise RuntimeError_(f"unknown node {name!r}")
         return node
+
+    def attach_pool(self, pool: SharedMemoryPool) -> None:
+        """Register an intra-rack shared-memory pool with the runtime.
+
+        Joins the pool's tracer to the cluster metrics registry and makes
+        the placement estimator tier-aware: stage-in items whose objects
+        are mapped into a pool a candidate node is attached to are priced
+        through :meth:`CostModel.pool_transfer` instead of assuming a
+        network fetch.
+        """
+        self._pools.append(pool)
+        self.metrics.register(f"memproto.pool.{pool.name}", pool.tracer,
+                              replace=True)
+        self.placement.set_pool_oracle(self._pool_oracle)
+
+    def _pool_oracle(self, node_name: str, oid: ObjectID) -> Optional[str]:
+        """Name of a pool through which ``node_name`` can load ``oid``
+        right now, else None — the placement estimator's reachability
+        oracle."""
+        for pool in self._pools:
+            if pool.attached(node_name) and pool.mapped(oid):
+                return pool.name
+        return None
 
     # -- object lifecycle -----------------------------------------------------
     def create_object(self, node_name: str, size: int, label: str = "") -> MemObject:

@@ -244,3 +244,59 @@ class TestTenantClassOverride:
                            keyspace=100)
         LoadGenerator(runtime, [plain], duration_us=1_000.0)
         assert net.host("h1").default_tclass is None
+
+
+class TestWrrReconfiguration:
+    """Regression: replacing or disabling the arbiter while packets were
+    queued orphaned them forever and leaked ``_in_flight`` (inflating
+    ``queue_depth`` for the life of the link)."""
+
+    def _burst_then(self, seed, reconfigure):
+        sim = Simulator(seed=seed)
+        # 0.01 Gbps = 1.25 B/us: a 542-byte frame takes ~434us, so the
+        # burst is still deeply queued when the reconfigure lands.
+        net = build_star(sim, 2, default_bandwidth_gbps=0.01)
+        for link in net.links:
+            link.set_egress_weights({"transport": 2})
+        got = []
+        net.host("h1").on("m", lambda p: got.append(p.payload["i"]))
+
+        def proc():
+            for i in range(10):
+                net.host("h0").send(Packet(kind="m", src="h0", dst="h1",
+                                           payload={"i": i},
+                                           payload_bytes=500))
+            yield Timeout(100.0)  # mid-burst: first frame still on the wire
+            for link in net.links:
+                reconfigure(link)
+            yield Timeout(120_000.0)
+
+        sim.run_process(proc())
+        return net, got
+
+    def _assert_drained(self, net, got):
+        assert sorted(got) == list(range(10)), (
+            f"queued packets stranded by reconfiguration: delivered {got}")
+        for link in net.links:
+            assert link.end_ab.queue_depth == 0, "leaked _in_flight (ab)"
+            assert link.end_ba.queue_depth == 0, "leaked _in_flight (ba)"
+
+    def test_reconfigure_midburst_drains_queued_packets(self):
+        net, got = self._burst_then(
+            _seed(30),
+            lambda link: link.set_egress_weights({"transport": 1, "gold": 4}))
+        self._assert_drained(net, got)
+
+    def test_disable_midburst_falls_back_to_fifo_without_stranding(self):
+        net, got = self._burst_then(
+            _seed(31), lambda link: link.set_egress_weights(None))
+        self._assert_drained(net, got)
+        # Disabled means disabled: later sends take the FIFO path.
+        for link in net.links:
+            assert link.end_ab._arb is None and link.end_ba._arb is None
+
+    def test_fifo_order_preserved_across_single_class_reconfigure(self):
+        net, got = self._burst_then(
+            _seed(32), lambda link: link.set_egress_weights({"transport": 8}))
+        assert got == list(range(10)), (
+            f"single-class drain must preserve FIFO order: {got}")

@@ -9,6 +9,7 @@ cache regression (identical placement inputs before/after the
 incremental rewrite).
 """
 
+import fractions
 import os
 import random
 
@@ -152,25 +153,44 @@ def test_make_popularity_dispatch():
 
 
 def exact_percentile(values, p):
+    # Exact nearest rank: ceil(p/100 * n), computed over the decimal
+    # value of ``p`` so fractional percentiles cannot truncate.
     ordered = sorted(values)
-    rank = max(1, -(-int(p * len(ordered)) // 100))
+    frac_p = fractions.Fraction(str(p))
+    rank = max(1, -(-(frac_p * len(ordered)) // 100))
     return ordered[rank - 1]
 
 
 def test_histogram_percentiles_track_exact_percentiles():
     """Bucket percentiles sit within the quantization bound of the
-    exact nearest-rank percentile on small traces."""
+    exact nearest-rank percentile on small traces — including
+    fractional percentiles, whose rank must not truncate."""
     rng = random.Random(seed(21))
     hist = LatencyHistogram(min_us=1.0, max_us=1e7, subbuckets=32)
     values = [rng.expovariate(1.0 / 500.0) + 1.0 for _ in range(5_000)]
     for v in values:
         hist.record(v)
-    for p in (50.0, 90.0, 99.0, 99.9):
+    for p in (50.0, 90.0, 99.0, 99.9, 12.34, 50.25, 66.67, 99.99):
         exact = exact_percentile(values, p)
         got = hist.percentile(p)
         # Upper bucket edge: never below exact, within one bucket above.
         assert got >= exact * (1.0 - 1e-9)
         assert got <= exact * (1.0 + 2.0 / 32) + 1.0
+
+
+def test_histogram_fractional_percentile_never_under_reports():
+    """Regression: the rank computed ``ceil(int(p*count)/100)``
+    truncated away the fractional part of ``p*count``, so p=50.25 over
+    two samples returned rank 1 instead of rank 2 — under-reporting the
+    tail the documented guarantee promises never to."""
+    hist = LatencyHistogram(min_us=1.0, max_us=1024.0, subbuckets=4)
+    hist.record(2.0)
+    hist.record(512.0)
+    # Nearest rank of p=50.25 over 2 samples is ceil(1.005) = 2: the
+    # large sample's bucket, never the small one's.
+    assert hist.percentile(50.25) >= 512.0
+    # Integer-boundary percentiles are unchanged: p=50 is rank 1.
+    assert hist.percentile(50.0) <= 4.0
 
 
 def test_histogram_mean_and_count_are_exact():

@@ -160,3 +160,70 @@ class TestLink:
         stranger = Host(sim, "c")
         with pytest.raises(ValueError):
             link.other(stranger)
+
+
+class TestHostStamping:
+    """Host.send must stamp src/created_at only when genuinely unset.
+
+    Regression: truthiness checks restamped a packet legitimately
+    created at sim time 0.0 (and replaced an empty-string src) when it
+    was sent later, corrupting end-to-end latency attribution at t=0.
+    """
+
+    def _pair(self, sim):
+        a = Host(sim, "a")
+        b = Host(sim, "b")
+        Link(sim, a, b, latency_us=1.0)
+        return a, b
+
+    def test_prestamped_t0_packet_keeps_its_timestamp(self, sim):
+        a, b = self._pair(sim)
+        got = []
+        b.on("m", got.append)
+        packet = Packet(kind="m", src="a", dst="b", created_at=0.0)
+
+        def proc():
+            yield Timeout(500.0)
+            a.send(packet)
+            yield Timeout(500.0)
+
+        sim.run_process(proc())
+        assert got, "packet never delivered"
+        assert got[0].created_at == 0.0
+
+    def test_unstamped_packet_is_stamped_at_send_time(self, sim):
+        a, b = self._pair(sim)
+        got = []
+        b.on("m", got.append)
+
+        def proc():
+            yield Timeout(500.0)
+            a.send(Packet(kind="m", src="a", dst="b"))
+            yield Timeout(500.0)
+
+        sim.run_process(proc())
+        assert got[0].created_at == pytest.approx(500.0)
+
+    def test_empty_string_src_is_preserved(self, sim):
+        a, b = self._pair(sim)
+        got = []
+        b.set_default_handler(got.append)
+
+        def proc():
+            a.send(Packet(kind="m", src="", dst="b"))
+            yield Timeout(100.0)
+
+        sim.run_process(proc())
+        assert got[0].src == ""
+
+    def test_unset_src_is_stamped_with_host_name(self, sim):
+        a, b = self._pair(sim)
+        got = []
+        b.on("m", got.append)
+
+        def proc():
+            a.send(Packet(kind="m", src=None, dst="b"))
+            yield Timeout(100.0)
+
+        sim.run_process(proc())
+        assert got[0].src == "a"
